@@ -1,0 +1,62 @@
+"""Ablation: input bus width vs update throughput.
+
+The paper fixes the unit bus at 512 bits "to be compatible with the
+interface width of the external DDR memory port". This bench sweeps
+the bus width and measures (in the simulator) how many cycles a
+fixed-size content load takes, confirming the linear words-per-beat
+relationship behind Table VIII's 4800 Mop/s figure and quantifying what
+a narrower integration bus would cost.
+"""
+
+from conftest import run_once
+
+from repro.bench.tables import TableData
+from repro.core import CamSession, unit_for_entries
+
+WORDS = 96
+DATA_WIDTH = 32
+
+
+def measure(bus_width: int):
+    session = CamSession(unit_for_entries(
+        128, block_size=32, data_width=DATA_WIDTH, bus_width=bus_width
+    ))
+    stats = session.update(list(range(WORDS)))
+    return stats
+
+
+def build_table() -> TableData:
+    rows = []
+    for bus_width in (32, 64, 128, 256, 512):
+        stats = measure(bus_width)
+        words_per_beat = bus_width // DATA_WIDTH
+        rows.append([
+            bus_width,
+            words_per_beat,
+            stats.beats,
+            stats.cycles,
+            round(words_per_beat * 300.0, 0),  # Mop/s at the 300 MHz target
+        ])
+    return TableData(
+        title=f"Ablation: bus width vs update cost ({WORDS} words, 32-bit)",
+        headers=["bus bits", "words/beat", "beats", "cycles",
+                 "update Mop/s @300MHz"],
+        rows=rows,
+        notes=["the 512-bit choice matches the DDR interface and yields "
+               "the paper's 4800 Mop/s update rate"],
+    )
+
+
+def test_ablation_bus_width(benchmark, record_exhibit):
+    table = run_once(benchmark, build_table)
+    record_exhibit("ablation_bus_width", table)
+
+    beats = [row[2] for row in table.rows]
+    assert beats == sorted(beats, reverse=True), "wider bus, fewer beats"
+    # Exact beat arithmetic: ceil(96 / words_per_beat).
+    for bus_bits, words_per_beat, beat_count, cycles, _ in table.rows:
+        assert beat_count == -(-WORDS // words_per_beat)
+        assert cycles >= beat_count
+    # The paper's configuration point.
+    assert table.rows[-1][0] == 512
+    assert table.rows[-1][-1] == 4800

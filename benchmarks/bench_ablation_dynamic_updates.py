@@ -1,0 +1,100 @@
+"""Ablation: update-heavy (dynamic) workloads across CAM families.
+
+Section II's central complaint about prior FPGA CAMs is that they are
+"optimized for read-intensive operations with infrequent updates".
+This bench makes that quantitative with the streaming-DISTINCT
+operator: every row searches, every unique row inserts, and the insert
+sits on the dependency path. Per family the cost is
+
+    rows x search_latency + uniques x update_latency          (cycles)
+
+with each design's own latencies and clock. Ours is additionally
+*executed* on the cycle-accurate model to confirm the analytic figure.
+"""
+
+from conftest import run_once
+
+from repro.apps.db import CamDistinct, model_distinct_cycles
+from repro.baselines import BramCam, DspCascadeCam, LutRamCam
+from repro.bench.tables import TableData
+from repro.core import unit_for_entries
+
+ROWS = 2_000
+UNIQUE_FRACTION = 0.4
+UNIQUES = int(ROWS * UNIQUE_FRACTION)
+CAPACITY = 1_024
+
+
+def family_rows():
+    rows = []
+    for family in (LutRamCam, BramCam, DspCascadeCam):
+        cost = family(CAPACITY, 32).cost()
+        cycles = model_distinct_cycles(
+            ROWS, UNIQUES, cost.search_latency, cost.update_latency
+        )
+        rows.append([
+            family.__name__,
+            cost.update_latency,
+            cost.search_latency,
+            cycles,
+            round(cycles / (cost.frequency_mhz * 1e3), 3),
+        ])
+    ours = unit_for_entries(CAPACITY, block_size=128, data_width=32)
+    cycles = model_distinct_cycles(
+        ROWS, UNIQUES, ours.search_latency, ours.update_latency
+    )
+    rows.append([
+        "DspCamUnit (ours)",
+        ours.update_latency,
+        ours.search_latency,
+        cycles,
+        round(cycles / (300.0 * 1e3), 3),
+    ])
+    return rows
+
+
+def build_table() -> TableData:
+    return TableData(
+        title=(f"Ablation: streaming DISTINCT ({ROWS} rows, "
+               f"{UNIQUES} unique) across CAM families"),
+        headers=["design", "update cy", "search cy", "total cycles",
+                 "time ms"],
+        rows=family_rows(),
+        notes=["cost = rows x search + uniques x update (insert on the "
+               "dependency path); ours cross-checked on the simulator"],
+    )
+
+
+def test_ablation_dynamic_updates(benchmark, record_exhibit):
+    table = run_once(benchmark, build_table)
+    record_exhibit("ablation_dynamic_updates", table)
+
+    cycles = {row[0]: row[3] for row in table.rows}
+    times = {row[0]: row[4] for row in table.rows}
+    ours_cycles = cycles["DspCamUnit (ours)"]
+    # The paper's section II claim, quantified: slow-update designs
+    # collapse under dynamic workloads (cycle counts, clock-neutral).
+    assert cycles["LutRamCam"] > 1.5 * ours_cycles
+    assert cycles["BramCam"] > 10 * ours_cycles
+    # The prior DSP design updates fast but searches slowly; at this
+    # mix it still loses on cycles by a wide margin.
+    assert cycles["DspCascadeCam"] > 2 * ours_cycles
+    # And in wall-clock terms ours is the fastest of all families.
+    assert times["DspCamUnit (ours)"] == min(times.values())
+
+
+def test_simulated_distinct_confirms_model(benchmark):
+    """Execute a scaled-down DISTINCT on the real CAM and compare."""
+    engine = CamDistinct(total_entries=128, block_size=32)
+    values = [i % 50 for i in range(120)]
+
+    def run():
+        engine.reset()
+        return engine.distinct(values)
+
+    unique, stats = run_once(benchmark, run)
+    assert len(unique) == 50
+    modelled = model_distinct_cycles(
+        120, 50, engine.config.search_latency, engine.config.update_latency
+    )
+    assert modelled * 0.8 < stats.cycles < modelled * 2.0

@@ -1,0 +1,62 @@
+"""Ablation: multi-query group count vs search throughput.
+
+Sweeps the runtime group count M of one unit and measures, in the
+cycle simulator, the wall-cycle cost of a fixed search batch. The
+paper's multi-query claim is that throughput scales ~linearly with M
+(one key per group per cycle) while per-group capacity shrinks by the
+replication factor -- both ends of the trade are asserted here.
+"""
+
+from conftest import run_once
+
+from repro.bench.tables import TableData
+from repro.core import CamSession, unit_for_entries
+
+BATCH = 128
+
+
+def build_table() -> TableData:
+    config = unit_for_entries(
+        512, block_size=64, data_width=32, bus_width=512, default_groups=1
+    )
+    session = CamSession(config)
+    rows = []
+    for m in (1, 2, 4, 8):
+        session.set_groups(m)
+        stored = list(range(min(48, session.capacity)))
+        session.update(stored)
+        keys = [stored[i % len(stored)] for i in range(BATCH)]
+        results = session.search(keys)
+        assert all(result.hit for result in results)
+        cycles = session.last_search_stats.cycles
+        rows.append([
+            m,
+            session.capacity,
+            cycles,
+            round(BATCH / cycles, 2),
+        ])
+        session.reset()
+    return TableData(
+        title=f"Ablation: group count vs throughput ({BATCH}-key batch)",
+        headers=["M (groups)", "entries/group", "cycles", "keys/cycle"],
+        rows=rows,
+        notes=["replicated mode: every group stores the full content, "
+               "so capacity divides by M while throughput multiplies"],
+    )
+
+
+def test_ablation_group_count(benchmark, record_exhibit):
+    table = run_once(benchmark, build_table)
+    record_exhibit("ablation_group_count", table)
+
+    cycles = {row[0]: row[2] for row in table.rows}
+    capacity = {row[0]: row[1] for row in table.rows}
+    # Throughput scales: 8 groups finish the batch much faster than 1.
+    assert cycles[8] * 4 < cycles[1]
+    assert cycles[2] < cycles[1]
+    # Capacity shrinks by exactly the replication factor.
+    for m in (1, 2, 4, 8):
+        assert capacity[m] == 512 // m
+    # Near-ideal scaling at the limit: batch/M + latency + slack.
+    latency = 7
+    assert cycles[8] <= BATCH // 8 + latency + 4

@@ -1,0 +1,73 @@
+"""Ablation: key width vs lanes, latency and resources (extension).
+
+The paper's entries cap at one slice's 48 bits. The wide-word
+extension (DESIGN.md section 5) spans keys across parallel lanes with
+AND-merged match vectors; this bench sweeps the key width and verifies
+the composition's costs on the cycle-accurate model: latency stays
+flat (lanes run in lockstep) while DSP cost scales with the lane
+count -- widening a CAM key is linear in resources, free in time.
+"""
+
+from conftest import run_once
+
+from repro.bench.tables import TableData
+from repro.core import CamSession, WideCamSession, unit_for_entries
+
+CAPACITY = 32
+
+
+def narrow_reference():
+    """48-bit single-lane baseline measurements."""
+    session = CamSession(unit_for_entries(
+        CAPACITY, block_size=16, data_width=48, bus_width=128
+    ))
+    session.update([123])
+    result = session.search_one(123)
+    assert result.hit
+    return session.unit.search_latency, session.unit.resources().dsp
+
+
+def measure(width: int):
+    cam = WideCamSession(CAPACITY, width, block_size=16, bus_width=128)
+    probe = (1 << (width - 1)) | 0xABC
+    cam.update([probe])
+    result = cam.search_one(probe)
+    assert result.hit and result.address == 0
+    assert not cam.contains(probe ^ 1)
+    assert not cam.contains(probe ^ (1 << (width - 1)))
+    return cam
+
+
+def build_table() -> TableData:
+    rows = []
+    base_latency, base_dsp = narrow_reference()
+    rows.append([48, 1, base_latency, base_dsp])
+    for width in (96, 144, 192):
+        cam = measure(width)
+        rows.append([
+            width,
+            cam.num_lanes,
+            cam.search_latency,
+            cam.resources().dsp,
+        ])
+    return TableData(
+        title=f"Ablation: key width vs lanes ({CAPACITY}-entry CAM)",
+        headers=["key bits", "lanes", "search latency", "DSPs"],
+        rows=rows,
+        notes=["lanes run in lockstep: latency is width-independent, "
+               "DSP cost is lanes x capacity"],
+    )
+
+
+def test_ablation_wide_keys(benchmark, record_exhibit):
+    table = run_once(benchmark, build_table)
+    record_exhibit("ablation_wide_keys", table)
+
+    latencies = {row[0]: row[2] for row in table.rows}
+    dsps = {row[0]: row[3] for row in table.rows}
+    # Latency flat across widths.
+    assert len(set(latencies.values())) == 1
+    # DSPs scale exactly with the lane count.
+    assert dsps[96] == 2 * CAPACITY
+    assert dsps[192] == 4 * CAPACITY
+    assert dsps[48] == CAPACITY

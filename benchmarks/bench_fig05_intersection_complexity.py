@@ -1,0 +1,74 @@
+"""Figure 5 / section V-A: set-intersection complexity, measured.
+
+The paper's analytical claim: merging two sorted lists of lengths n
+and m costs O(n + m) sequential comparisons, while storing the longer
+list in the CAM and streaming the shorter one costs O(n) searches
+(answered in parallel across groups). This bench *measures* both on
+real engines -- the merge step counter and the cycle-accurate CAM --
+across a sweep of list-length ratios, and checks the crossover
+structure: the CAM's advantage grows with the longer list's length and
+is greatest for asymmetric pairs (the hub pattern of Table IX).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.apps.tc import CamIntersector, merge_intersect
+from repro.bench.tables import TableData
+
+
+def measure_pair(engine, rng, longer_len, shorter_len):
+    longer = np.unique(rng.integers(0, 4 * longer_len, size=longer_len))
+    shorter = np.unique(rng.integers(0, 4 * longer_len, size=shorter_len))
+    expected, merge_steps = merge_intersect(
+        sorted(longer.tolist()), sorted(shorter.tolist())
+    )
+    common, cam_cycles = engine.intersect(longer.tolist(), shorter.tolist())
+    assert common == expected
+    return merge_steps, cam_cycles
+
+
+def build_table() -> TableData:
+    engine = CamIntersector(total_entries=512, block_size=128)
+    rng = np.random.default_rng(2025)
+    rows = []
+    for longer_len, shorter_len in [
+        (32, 32), (128, 128), (384, 384),
+        (384, 32), (384, 8), (448, 4),
+    ]:
+        merge_steps, cam_cycles = measure_pair(
+            engine, rng, longer_len, shorter_len
+        )
+        rows.append([
+            longer_len, shorter_len,
+            merge_steps, cam_cycles,
+            round(merge_steps / cam_cycles, 2),
+        ])
+    return TableData(
+        title="Section V-A: merge O(n+m) vs CAM O(n), measured",
+        headers=["longer n", "shorter m", "merge steps", "CAM cycles",
+                 "ratio"],
+        rows=rows,
+        notes=["CAM cycles include regroup + load + parallel search on "
+               "the cycle-accurate unit; merge steps are the baseline's "
+               "II=1 comparison count"],
+    )
+
+
+def test_fig05_intersection_complexity(benchmark, record_exhibit):
+    table = run_once(benchmark, build_table)
+    record_exhibit("fig05_intersection_complexity", table)
+
+    by_shape = {(row[0], row[1]): row[4] for row in table.rows}
+    # The CAM wins at every shape.
+    assert all(row[4] > 1.0 for row in table.rows)
+    # Asymmetric (hub) pairs show the largest advantage: the long list
+    # loads at 16 words/cycle while the merge walks it element-wise.
+    assert by_shape[(448, 4)] > by_shape[(384, 384)]
+    assert by_shape[(384, 8)] > by_shape[(128, 128)]
+    # Structural subtlety the measurement exposes: a symmetric pair
+    # whose lists span several blocks loses group parallelism (M drops
+    # toward 1), so (384, 384) beats the merge by *less* than
+    # (128, 128), which still enjoys M = 4. The paper's O(n) claim
+    # assumes M groups remain available.
+    assert by_shape[(128, 128)] > by_shape[(384, 384)]

@@ -1,0 +1,28 @@
+"""Table V: CAM cell evaluation.
+
+Drives a single DSP-backed cell in the cycle simulator for each of the
+three CAM types and checks the paper's exact cell-level numbers:
+1-cycle update, 2-cycle search, one DSP and nothing else, identical
+across binary/ternary/range configurations.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import table05_cell
+from repro.core import CamType, measure_cell
+
+
+def test_table05_cell(benchmark, record_exhibit):
+    table = run_once(benchmark, table05_cell)
+    record_exhibit("table05_cell", table)
+
+    reports = {cam_type: measure_cell(cam_type) for cam_type in CamType}
+    for cam_type, report in reports.items():
+        assert report.update_latency == 1, cam_type
+        assert report.search_latency == 2, cam_type
+        assert report.resources.dsp == 1, cam_type
+        assert report.resources.lut == 0, cam_type
+        assert report.resources.bram == 0, cam_type
+    # "The configuration of the OPMODE and ALUMODE does not change the
+    # resource utilization of the memory cell."
+    assert len({r.resources for r in reports.values()}) == 1

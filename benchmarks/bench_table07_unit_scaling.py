@@ -1,0 +1,53 @@
+"""Table VII: CAM unit configuration and resource utilisation.
+
+Regenerates the resource/frequency scaling sweep (512..9728 x 48-bit
+entries, block size 256, 512-bit bus) from the calibrated fabric model
+and checks the paper's headline claims: linear LUT growth, 79.25% DSP
+utilisation at the maximum configuration with under 3% of the LUTs,
+and the frequency droop past 2K entries.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.experiments import PAPER_TABLE_VII, table07_unit_scaling
+from repro.core import unit_scaling
+from repro.fabric import ALVEO_U250
+
+SIZES = (512, 1024, 2048, 4096, 6144, 8192, 9728)
+
+
+def test_table07_unit_scaling(benchmark, record_exhibit):
+    table = run_once(benchmark, lambda: table07_unit_scaling(SIZES))
+    record_exhibit("table07_unit_scaling", table)
+
+    reports = {size: unit_scaling(size) for size in SIZES}
+    for size, report in reports.items():
+        paper = PAPER_TABLE_VII[size]
+        assert report.luts == paper["lut"], size
+        assert report.dsps == size
+        assert report.frequency_mhz == pytest.approx(paper["freq"]), size
+
+    # Headline: 9728 entries = 79.25% of the platform's DSPs, <3% LUTs.
+    top = reports[9728]
+    assert top.dsp_utilisation == pytest.approx(9728 / 12288, abs=1e-4)
+    assert top.lut_utilisation < 0.03
+    # LUT growth is close to linear in entries (slope ~4.6 LUT/entry).
+    slopes = [
+        (reports[b].luts - reports[a].luts) / (b - a)
+        for a, b in zip(SIZES, SIZES[1:])
+    ]
+    assert all(3.0 < slope < 6.5 for slope in slopes), slopes
+    # Frequency monotonically non-increasing, 300 MHz through 2K.
+    freqs = [reports[size].frequency_mhz for size in SIZES]
+    assert freqs == sorted(freqs, reverse=True)
+    assert freqs[0] == freqs[2] == 300.0
+
+
+def test_max_config_fits_device(benchmark):
+    """The 9728-entry unit must actually fit the U250."""
+    from repro.fabric import unit_resources
+
+    usage = run_once(benchmark, lambda: unit_resources(9728))
+    assert ALVEO_U250.fits(usage)
+    assert not ALVEO_U250.fits(usage * 2), "double the design must not fit"

@@ -1,0 +1,52 @@
+"""Table VIII: CAM performance for 32-bit data with different sizes.
+
+This is the paper's end-to-end performance measurement: randomly
+update and search a single value in units of 128..8192 entries and
+count cycles. The latencies here are *simulated cycle-accurately* on
+the full unit (every DSP cell instantiated); the throughputs combine
+the measured initiation interval of 1 with the calibrated frequency.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.experiments import PAPER_TABLE_VIII, table08_unit_perf
+from repro.core import measure_unit_performance
+
+SIZES = (128, 512, 2048, 4096, 8192)
+
+
+def test_table08_unit_perf(benchmark, record_exhibit):
+    table = run_once(benchmark, lambda: table08_unit_perf(SIZES))
+    record_exhibit("table08_unit_perf", table)
+
+    for size in SIZES:
+        report = measure_unit_performance(size, block_size=min(128, size))
+        paper = PAPER_TABLE_VIII[size]
+        assert report.update_latency == paper["update"], size
+        assert report.search_latency == paper["search"], size
+        assert report.update_throughput_mops == pytest.approx(paper["up_tput"]), size
+        assert report.search_throughput_mops == pytest.approx(paper["se_tput"]), size
+
+
+def test_pipelining_sustains_full_rate(benchmark):
+    """Both paths are pipelined with initiation interval 1: a burst of
+    back-to-back searches completes in burst + latency cycles."""
+    from repro.core import CamSession, unit_for_entries
+
+    session = CamSession(
+        unit_for_entries(512, block_size=128, data_width=32, default_groups=1)
+    )
+    session.update(list(range(64)))
+
+    def burst():
+        results = session.search(list(range(64)))
+        return session.last_search_stats, results
+
+    stats, results = run_once(benchmark, burst)
+    assert all(result.hit for result in results)
+    latency = session.unit.search_latency
+    assert stats.cycles <= 64 + latency + 2, (
+        f"64 searches took {stats.cycles} cycles; II=1 requires "
+        f"<= {64 + latency + 2}"
+    )

@@ -1,0 +1,37 @@
+"""Shared helpers for the paper-exhibit benchmarks.
+
+Each benchmark regenerates one table/figure of the paper, times it via
+pytest-benchmark, prints the rendered rows, and archives the output
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference a
+reproducible artefact.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def record_exhibit(capsys):
+    """Print an exhibit and archive its text under benchmarks/results."""
+
+    def _record(name: str, table) -> None:
+        text = table.render()
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` with a single measured round (exhibits are heavy)."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Networking on the TCAM: LPM routing and ACL classification.
+
+The paper's introduction motivates CAMs with network processing; this
+example builds both canonical TCAM applications on the cycle-accurate
+unit: a longest-prefix-match IPv4 router (ternary entries, priority by
+prefix length) and a firewall ACL whose port ranges expand through the
+aligned-power-of-two restriction of the DSP MASK.
+
+Run:  python examples/packet_classifier.py
+"""
+
+from repro.apps.packet import (
+    LpmRouter,
+    Packet,
+    PacketClassifier,
+    Rule,
+    expand_range,
+)
+
+
+def routing_demo() -> None:
+    print("longest-prefix-match routing (TCAM)")
+    router = LpmRouter(capacity=256, block_size=64, concurrent_lookups=2)
+    table = [
+        ("0.0.0.0/0", "upstream"),
+        ("10.0.0.0/8", "dc-core"),
+        ("10.1.0.0/16", "pod-1"),
+        ("10.1.2.0/24", "rack-42"),
+        ("10.1.2.128/25", "service-mesh"),
+        ("192.168.0.0/16", "office"),
+    ]
+    for prefix, hop in table:
+        router.add_route(prefix, hop)
+    entries = router.compile()
+    print(f"  {len(table)} routes compiled into {entries} CAM entries, "
+          f"{router.lookup_cycles}-cycle lookups")
+
+    flows = ["10.1.2.200", "10.1.2.10", "10.1.77.3", "10.200.0.1",
+             "192.168.4.4", "1.1.1.1"]
+    routes = router.lookup_batch(flows)
+    for address, route in zip(flows, routes):
+        print(f"  {address:>14} -> {route.next_hop:12s} ({route.cidr})")
+
+
+def acl_demo() -> None:
+    print("\nfirewall ACL (TCAM with range expansion)")
+    lo, hi = 1024, 49151  # registered ports
+    chunks = expand_range(lo, hi, 16)
+    print(f"  port range [{lo}, {hi}] expands into {len(chunks)} "
+          "aligned power-of-two CAM entries:")
+    print(f"    {chunks[:4]} ...")
+
+    acl = PacketClassifier(capacity=256, block_size=64)
+    rules = [
+        Rule("drop-telnet", "deny", protocol=6, port_range=(23, 23)),
+        Rule("web", "allow", protocol=6, port_range=(80, 443)),
+        Rule("dns", "allow", protocol=17, port_range=(53, 53)),
+        Rule("ephemeral", "allow", protocol=6, port_range=(lo, hi)),
+        Rule("default-deny", "deny"),
+    ]
+    for rule in rules:
+        used = acl.add_rule(rule)
+        print(f"  rule {rule.name:14s} -> {used} CAM entr"
+              f"{'y' if used == 1 else 'ies'}")
+    print(f"  total: {acl.num_rules} rules in {acl.entries_used} entries")
+
+    traffic = [
+        ("ssh-scan", Packet(protocol=6, src_tag=9, dst_tag=1, dst_port=23)),
+        ("https", Packet(protocol=6, src_tag=2, dst_tag=1, dst_port=443)),
+        ("dns-query", Packet(protocol=17, src_tag=2, dst_tag=1, dst_port=53)),
+        ("high-port", Packet(protocol=6, src_tag=2, dst_tag=1, dst_port=30000)),
+        ("weird-udp", Packet(protocol=17, src_tag=2, dst_tag=1, dst_port=9999)),
+    ]
+    verdicts = acl.classify_batch([packet for _, packet in traffic])
+    print("  classification:")
+    for (label, _), rule in zip(traffic, verdicts):
+        print(f"    {label:10s} -> {rule.action:5s} (rule {rule.name})")
+
+
+def main() -> None:
+    routing_demo()
+    acl_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Database operators on the CAM: streaming DISTINCT and equi-join.
+
+The update-heavy pattern the paper's section II motivates: DISTINCT
+interleaves a search and a conditional insert per row (insert on the
+dependency path), and the equi-join stores the build relation in the
+CAM and streams probes through at one per cycle. Both run on the
+cycle-accurate model, with the per-family cost comparison showing why
+slow-update CAM designs collapse on this workload.
+
+Run:  python examples/streaming_dedup.py
+"""
+
+import numpy as np
+
+from repro.apps.db import (
+    CamDistinct,
+    CamJoin,
+    model_distinct_cycles,
+    reference_join,
+)
+from repro.baselines import BramCam, LutRamCam
+
+
+def distinct_demo() -> None:
+    print("streaming DISTINCT (search + conditional insert per row)")
+    rng = np.random.default_rng(11)
+    stream = rng.integers(0, 120, size=400).tolist()
+
+    engine = CamDistinct(total_entries=256, block_size=64)
+    unique, stats = engine.distinct(stream)
+    assert unique == list(dict.fromkeys(stream))
+    print(f"  {stats.input_rows} rows -> {stats.unique_rows} unique in "
+          f"{stats.cycles} cycles ({stats.cycles_per_row:.1f}/row)")
+
+    print("\n  same workload, per-family analytic cost:")
+    ours = engine.config
+    print(f"    {'design':14s} {'update':>6s} {'search':>6s} {'cycles':>9s}")
+    for label, update, search in [
+        ("ours", ours.update_latency, ours.search_latency),
+        ("LUTRAM TCAM", LutRamCam(256, 32).cost().update_latency,
+         LutRamCam(256, 32).cost().search_latency),
+        ("BRAM TCAM", BramCam(256, 32).cost().update_latency,
+         BramCam(256, 32).cost().search_latency),
+    ]:
+        cycles = model_distinct_cycles(
+            stats.input_rows, stats.unique_rows, search, update
+        )
+        print(f"    {label:14s} {update:>6d} {search:>6d} {cycles:>9d}")
+
+
+def join_demo() -> None:
+    print("\nCAM equi-join (build side stored, probe side streamed)")
+    rng = np.random.default_rng(12)
+    build = rng.integers(0, 500, size=200).tolist()
+    probe = rng.integers(0, 500, size=300).tolist()
+
+    engine = CamJoin(total_entries=256, block_size=64)
+    pairs, stats = engine.join(build, probe)
+    expected = reference_join(build, probe)
+    assert sorted(pairs) == sorted(expected)
+    print(f"  build {stats.build_rows} x probe {stats.probe_rows} -> "
+          f"{stats.output_rows} matches in {stats.cycles} cycles "
+          f"({stats.passes} pass)")
+    print(f"  nested-loop comparisons avoided: "
+          f"{stats.build_rows * stats.probe_rows}")
+
+
+def main() -> None:
+    distinct_demo()
+    join_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate every paper exhibit and archive the rendered tables.
+
+Standalone equivalent of ``pytest benchmarks/ --benchmark-only`` for
+the exhibit text only: runs each generator in
+:mod:`repro.bench.experiments`, writes ``benchmarks/results/<name>.txt``
+and prints a one-line summary per exhibit.
+
+Usage: python scripts/regenerate_results.py [--max-edges N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.experiments import ALL_EXHIBITS  # noqa: E402
+
+RESULTS_DIR = os.path.join(REPO_ROOT, "benchmarks", "results")
+
+#: Archive names matching the benchmark suites' record_exhibit calls.
+ARCHIVE_NAMES = {
+    "fig1": "fig01_characteristics",
+    "table1": "table01_survey",
+    "table5": "table05_cell",
+    "table6": "table06_block",
+    "table7": "table07_unit_scaling",
+    "table8": "table08_unit_perf",
+    "table9": "table09_triangle_counting",
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-edges", type=int, default=120_000,
+                        help="stand-in graph cap for table9")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated exhibit names")
+    args = parser.parse_args()
+
+    names = sorted(ALL_EXHIBITS)
+    if args.only:
+        names = [name for name in args.only.split(",") if name in ALL_EXHIBITS]
+        if not names:
+            parser.error(f"no valid exhibits in {args.only!r}")
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    for name in names:
+        builder = ALL_EXHIBITS[name]
+        started = time.time()
+        if name == "table9":
+            table = builder(max_edges=args.max_edges)
+        else:
+            table = builder()
+        elapsed = time.time() - started
+        path = os.path.join(RESULTS_DIR, f"{ARCHIVE_NAMES[name]}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(table.render() + "\n")
+        print(f"{name:8s} -> {os.path.relpath(path, REPO_ROOT)} "
+              f"({len(table.rows)} rows, {elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

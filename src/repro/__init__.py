@@ -1,0 +1,27 @@
+"""repro: Configurable DSP-based CAM architecture for FPGAs.
+
+A production-quality Python reproduction of "Configurable DSP-Based CAM
+Architecture for Data-Intensive Applications on FPGAs" (DAC 2025):
+a register-accurate DSP48E2 slice model, the hierarchical CAM
+cell/block/unit design with multi-query support, the competing CAM
+baselines, the triangle-counting case study, Verilog template
+generation, and a bench harness regenerating every table and figure of
+the paper's evaluation.
+
+Quick start::
+
+    from repro.core import CamSession, unit_for_entries
+
+    session = CamSession(unit_for_entries(256, block_size=64,
+                                          data_width=32, default_groups=2))
+    session.update([10, 20, 30])
+    result = session.search_one(20)
+    assert result.hit and result.address == 1
+
+See README.md for the architecture overview and DESIGN.md for the
+system inventory and paper-substitution notes.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Cache/TLB case study: CAM-based tag matching."""
+
+from repro.apps.cache.tlb import CamTlb, TlbStats
+
+__all__ = ["CamTlb", "TlbStats"]

@@ -1,0 +1,141 @@
+"""Fully-associative TLB on the binary CAM (cache tag matching).
+
+The background section's first B-CAM application: "cache memory tag
+matching where precise data retrieval is essential". A fully
+associative translation buffer is the canonical form -- every lookup
+compares the virtual page number against all stored tags in one
+operation, which is exactly one CAM search.
+
+The translation (data) side lives in a plain array indexed by the
+CAM's content address; insertion order gives the FIFO replacement
+policy, realised with the delete-by-content extension. Because the
+CAM's invalidation leaves holes (cells are reclaimed only by reset),
+the TLB *compacts* -- resets and reinserts the live set -- when the
+fill pointer reaches capacity with holes outstanding, which is how an
+invalidate-only CAM is managed in practice.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core import CamSession, CamType, unit_for_entries
+from repro.errors import ConfigError
+
+
+@dataclass
+class TlbStats:
+    """Hit/miss/maintenance counters plus simulated-cycle accounting."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    compactions: int = 0
+    cycles: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CamTlb:
+    """FIFO fully-associative TLB with CAM tag lookup."""
+
+    def __init__(
+        self,
+        entries: int = 64,
+        vpn_bits: int = 20,
+        block_size: int = 16,
+    ) -> None:
+        if not 1 <= vpn_bits <= 48:
+            raise ConfigError(f"vpn_bits must be 1..48, got {vpn_bits}")
+        self.entries = entries
+        self.vpn_bits = vpn_bits
+        self.session = CamSession(unit_for_entries(
+            entries,
+            block_size=min(block_size, entries),
+            data_width=vpn_bits,
+            bus_width=max(128, vpn_bits),
+            cam_type=CamType.BINARY,
+        ))
+        #: CAM content address -> physical frame (None = hole).
+        self._frames: Dict[int, Optional[int]] = {}
+        #: Live vpn -> cam address, in insertion (FIFO) order.
+        self._live: "OrderedDict[int, int]" = OrderedDict()
+        self.stats = TlbStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Live translations currently resident."""
+        return len(self._live)
+
+    @property
+    def full(self) -> bool:
+        return len(self._live) >= self.entries
+
+    # ------------------------------------------------------------------
+    def translate(self, vpn: int) -> Optional[int]:
+        """Look a virtual page up; None on a TLB miss."""
+        start = self.session.cycle
+        result = self.session.search_one(int(vpn))
+        self.stats.lookups += 1
+        self.stats.cycles += self.session.cycle - start
+        if not result.hit:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        frame = self._frames.get(result.address)
+        assert frame is not None, "CAM hit on an invalidated tag"
+        return frame
+
+    def insert(self, vpn: int, frame: int) -> None:
+        """Install a translation, evicting FIFO-oldest when full."""
+        vpn = int(vpn)
+        start = self.session.cycle
+        if vpn in self._live:
+            # Re-insert: replace the existing mapping (invalidate old).
+            self._evict(vpn, count_eviction=False)
+        elif self.full:
+            oldest_vpn = next(iter(self._live))
+            self._evict(oldest_vpn, count_eviction=True)
+        if self.session.occupancy >= self.entries:
+            self._compact()
+        self.session.update([vpn])
+        address = self.session.occupancy - 1
+        self._frames[address] = int(frame)
+        self._live[vpn] = address
+        self.stats.insertions += 1
+        self.stats.cycles += self.session.cycle - start
+
+    # ------------------------------------------------------------------
+    def _evict(self, vpn: int, count_eviction: bool) -> None:
+        address = self._live.pop(vpn)
+        self._frames[address] = None
+        self.session.delete(vpn)
+        if count_eviction:
+            self.stats.evictions += 1
+
+    def _compact(self) -> None:
+        """Reset the CAM and reinsert the live set (hole reclamation)."""
+        live = [(vpn, self._frames[address])
+                for vpn, address in self._live.items()]
+        self.session.reset()
+        self._frames.clear()
+        self._live.clear()
+        for address, (vpn, frame) in enumerate(live):
+            self._frames[address] = frame
+            self._live[vpn] = address
+        if live:
+            self.session.update([vpn for vpn, _frame in live])
+        self.stats.compactions += 1
+
+    def flush(self) -> None:
+        """Drop every translation (context switch)."""
+        self.session.reset()
+        self._frames.clear()
+        self._live.clear()

@@ -1,0 +1,13 @@
+"""Database operators on the CAM: equi-join and streaming distinct."""
+
+from repro.apps.db.distinct import CamDistinct, DistinctStats, model_distinct_cycles
+from repro.apps.db.join import CamJoin, JoinStats, reference_join
+
+__all__ = [
+    "CamDistinct",
+    "CamJoin",
+    "DistinctStats",
+    "JoinStats",
+    "model_distinct_cycles",
+    "reference_join",
+]

@@ -1,0 +1,35 @@
+"""Packet-processing case studies: LPM routing and ACL classification."""
+
+from repro.apps.packet.classifier import (
+    ANY,
+    KEY_WIDTH,
+    Packet,
+    PacketClassifier,
+    Rule,
+    compile_rule,
+)
+from repro.apps.packet.lpm import (
+    IPV4_BITS,
+    LpmRouter,
+    Route,
+    parse_address,
+    parse_prefix,
+)
+from repro.apps.packet.ranges import expand_range, expansion_cost, range_entries
+
+__all__ = [
+    "ANY",
+    "IPV4_BITS",
+    "KEY_WIDTH",
+    "LpmRouter",
+    "Packet",
+    "PacketClassifier",
+    "Route",
+    "Rule",
+    "compile_rule",
+    "expand_range",
+    "expansion_cost",
+    "parse_address",
+    "parse_prefix",
+    "range_entries",
+]

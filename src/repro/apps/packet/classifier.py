@@ -1,0 +1,176 @@
+"""Multi-field packet classification (ACL / firewall) on the TCAM.
+
+Rules match on source prefix, destination prefix, protocol and a
+destination-port range; each rule compiles to one or more ternary CAM
+entries (port ranges expand via :mod:`repro.apps.packet.ranges` -- the
+aligned-power-of-two restriction of the DSP MASK made explicit). The
+first matching rule in priority order wins, which is exactly the CAM's
+priority-encoded search.
+
+Key layout (48 bits, the full DSP width):
+
+    [47:40] protocol | [39:24] dst port | [23:12] src net | [11:0] dst net
+
+Source/destination networks are folded to 12-bit tags to fit the key;
+the fold is injective for the rule sets the examples use and is
+documented as a modelling simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.apps.packet.ranges import expand_range
+from repro.core import CamSession, CamType, unit_for_entries
+from repro.core.mask import CamEntry, ternary_entry
+from repro.errors import CapacityError, ConfigError
+
+KEY_WIDTH = 48
+_PROTO_SHIFT = 40
+_PORT_SHIFT = 24
+_SRC_SHIFT = 12
+_TAG_BITS = 12
+_PORT_BITS = 16
+_PROTO_BITS = 8
+
+ANY = None  # wildcard marker in rule fields
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One classifier rule (None fields are wildcards)."""
+
+    name: str
+    action: str
+    protocol: Optional[int] = None
+    src_tag: Optional[int] = None
+    dst_tag: Optional[int] = None
+    port_range: Optional[Tuple[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol is not None and not 0 <= self.protocol < 256:
+            raise ConfigError(f"protocol {self.protocol} out of range")
+        for tag in (self.src_tag, self.dst_tag):
+            if tag is not None and not 0 <= tag < (1 << _TAG_BITS):
+                raise ConfigError(f"network tag {tag} out of range")
+        if self.port_range is not None:
+            lo, hi = self.port_range
+            if not 0 <= lo <= hi < (1 << _PORT_BITS):
+                raise ConfigError(f"bad port range {self.port_range}")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """The classified header fields."""
+
+    protocol: int
+    src_tag: int
+    dst_tag: int
+    dst_port: int
+
+    def key(self) -> int:
+        return (
+            (self.protocol << _PROTO_SHIFT)
+            | (self.dst_port << _PORT_SHIFT)
+            | (self.src_tag << _SRC_SHIFT)
+            | self.dst_tag
+        )
+
+
+def _field_bits(
+    value: Optional[int], shift: int, width: int
+) -> Tuple[int, int]:
+    """(value_bits, dont_care_bits) for one rule field."""
+    mask = ((1 << width) - 1) << shift
+    if value is None:
+        return 0, mask
+    return value << shift, 0
+
+
+def compile_rule(rule: Rule) -> List[CamEntry]:
+    """Expand one rule into its CAM entries (1 per port-range chunk)."""
+    value = 0
+    dont_care = 0
+    for field_value, shift, width in (
+        (rule.protocol, _PROTO_SHIFT, _PROTO_BITS),
+        (rule.src_tag, _SRC_SHIFT, _TAG_BITS),
+        (rule.dst_tag, 0, _TAG_BITS),
+    ):
+        bits, ignore = _field_bits(field_value, shift, width)
+        value |= bits
+        dont_care |= ignore
+
+    if rule.port_range is None:
+        port_chunks = [(None, None)]
+    else:
+        port_chunks = expand_range(*rule.port_range, data_width=_PORT_BITS)
+
+    entries = []
+    for chunk in port_chunks:
+        chunk_value, chunk_ignore = value, dont_care
+        if chunk == (None, None):
+            chunk_ignore |= ((1 << _PORT_BITS) - 1) << _PORT_SHIFT
+        else:
+            start, end = chunk
+            span = end - start  # (2^k - 1): low k bits don't care
+            chunk_value |= start << _PORT_SHIFT
+            chunk_ignore |= span << _PORT_SHIFT
+        entries.append(ternary_entry(chunk_value, chunk_ignore, KEY_WIDTH))
+    return entries
+
+
+class PacketClassifier:
+    """Priority-ordered ACL running on the cycle-accurate TCAM."""
+
+    def __init__(self, capacity: int = 256, block_size: int = 64) -> None:
+        config = unit_for_entries(
+            capacity,
+            block_size=block_size,
+            data_width=KEY_WIDTH,
+            bus_width=512,
+            cam_type=CamType.TERNARY,
+        )
+        self.session = CamSession(config)
+        self._rules: List[Rule] = []
+        #: entry address -> rule index (ranges expand to several entries)
+        self._entry_rule: List[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rules(self) -> int:
+        return len(self._rules)
+
+    @property
+    def entries_used(self) -> int:
+        return len(self._entry_rule)
+
+    def add_rule(self, rule: Rule) -> int:
+        """Append a rule (lowest index = highest priority); returns the
+        number of CAM entries it consumed."""
+        entries = compile_rule(rule)
+        if self.entries_used + len(entries) > self.session.capacity:
+            raise CapacityError(
+                f"rule {rule.name!r} needs {len(entries)} entries; only "
+                f"{self.session.capacity - self.entries_used} left"
+            )
+        rule_index = len(self._rules)
+        self._rules.append(rule)
+        self.session.update(entries)
+        self._entry_rule.extend([rule_index] * len(entries))
+        return len(entries)
+
+    def classify(self, packet: Packet) -> Optional[Rule]:
+        """First matching rule in priority order, or None (no match)."""
+        result = self.session.search_one(packet.key())
+        if not result.hit:
+            return None
+        return self._rules[self._entry_rule[result.address]]
+
+    def classify_batch(self, packets) -> List[Optional[Rule]]:
+        """Pipelined classification of a packet burst."""
+        results = self.session.search([packet.key() for packet in packets])
+        return [
+            self._rules[self._entry_rule[result.address]] if result.hit else None
+            for result in results
+        ]

@@ -1,0 +1,59 @@
+"""Range-to-prefix expansion for TCAM/RMCAM rules.
+
+The DSP cell's MASK can only express *aligned power-of-two* ranges
+(paper section III-A). Arbitrary port/address ranges therefore have to
+be split into a minimal set of aligned chunks -- the classic TCAM
+range-expansion problem. :func:`expand_range` implements the greedy
+optimal algorithm: repeatedly take the largest aligned block that
+starts at the current point and does not overshoot the range end; an
+arbitrary W-bit range expands into at most ``2W - 2`` chunks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.mask import CamEntry, range_entry
+from repro.errors import MaskError
+
+
+def expand_range(start: int, end: int, data_width: int) -> List[Tuple[int, int]]:
+    """Split [start, end] into minimal aligned power-of-two chunks.
+
+    Returns ``(chunk_start, chunk_end)`` pairs in ascending order.
+    """
+    if start < 0 or end < start:
+        raise MaskError(f"invalid range [{start}, {end}]")
+    if end >> data_width:
+        raise MaskError(
+            f"range end {end} does not fit in {data_width} bits"
+        )
+    chunks: List[Tuple[int, int]] = []
+    cursor = start
+    while cursor <= end:
+        # Largest alignment of `cursor`: lowest set bit (or full width
+        # when cursor == 0).
+        if cursor == 0:
+            align = 1 << data_width
+        else:
+            align = cursor & -cursor
+        size = align
+        # Shrink until the block fits inside the remaining range.
+        while cursor + size - 1 > end:
+            size >>= 1
+        chunks.append((cursor, cursor + size - 1))
+        cursor += size
+    return chunks
+
+
+def range_entries(start: int, end: int, data_width: int) -> List[CamEntry]:
+    """CAM entries covering [start, end] exactly (one per chunk)."""
+    return [
+        range_entry(chunk_start, chunk_end, data_width)
+        for chunk_start, chunk_end in expand_range(start, end, data_width)
+    ]
+
+
+def expansion_cost(start: int, end: int, data_width: int) -> int:
+    """Number of CAM entries an arbitrary range consumes."""
+    return len(expand_range(start, end, data_width))

@@ -1,0 +1,34 @@
+"""Baseline CAM families and the published-design survey (Table I)."""
+
+from repro.baselines.base import BaselineCam, CamCost, occupied_first_match
+from repro.baselines.bram_cam import BRAM_ROWS, BRAM_WORD_BITS, BramCam
+from repro.baselines.dsp_queue import REFERENCE_LANES, DspCascadeCam
+from repro.baselines.lut_cam import LutRamCam
+from repro.baselines.register_cam import RegisterCam
+from repro.baselines.survey import (
+    AXES,
+    LITERATURE,
+    SurveyEntry,
+    characteristics,
+    full_survey,
+    ours_entry,
+)
+
+__all__ = [
+    "AXES",
+    "BRAM_ROWS",
+    "BRAM_WORD_BITS",
+    "BaselineCam",
+    "BramCam",
+    "CamCost",
+    "DspCascadeCam",
+    "LITERATURE",
+    "LutRamCam",
+    "REFERENCE_LANES",
+    "RegisterCam",
+    "SurveyEntry",
+    "characteristics",
+    "full_survey",
+    "occupied_first_match",
+    "ours_entry",
+]

@@ -1,0 +1,87 @@
+"""Common interface for baseline CAM models.
+
+Every baseline implements the same functional surface (update / search /
+reset) plus cost and timing estimators so the Figure 1 and Table I
+benches can score all design families uniformly against our DSP-based
+design.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.mask import CamEntry
+from repro.core.types import SearchResult
+from repro.fabric.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class CamCost:
+    """Cost/latency summary of a CAM instance for comparison tables."""
+
+    resources: ResourceVector
+    frequency_mhz: float
+    #: Cycles for a single end-to-end update of one entry.
+    update_latency: int
+    #: Cycles for a single end-to-end search.
+    search_latency: int
+    #: Concurrent search keys supported per cycle.
+    concurrent_queries: int = 1
+
+
+class BaselineCam(abc.ABC):
+    """Functional + cost model of one CAM design family."""
+
+    #: Human-readable family label ("LUT", "BRAM", "DSP", ...).
+    category: str = "?"
+
+    def __init__(self, capacity: int, data_width: int) -> None:
+        self.capacity = capacity
+        self.data_width = data_width
+
+    # -- functional ----------------------------------------------------
+    @abc.abstractmethod
+    def update(self, entries: Sequence[CamEntry]) -> None:
+        """Store entries (appending in insertion order)."""
+
+    @abc.abstractmethod
+    def search(self, key: int) -> SearchResult:
+        """Priority-match ``key`` against the stored content."""
+
+    @abc.abstractmethod
+    def reset(self) -> None:
+        """Clear all stored content."""
+
+    def search_many(self, keys: Sequence[int]) -> List[SearchResult]:
+        return [self.search(key) for key in keys]
+
+    # -- cost ----------------------------------------------------------
+    @abc.abstractmethod
+    def cost(self) -> CamCost:
+        """Resource/latency estimate for this instance."""
+
+    # -- bookkeeping ---------------------------------------------------
+    @property
+    def size_bits(self) -> int:
+        return self.capacity * self.data_width
+
+    def describe(self) -> str:
+        cost = self.cost()
+        return (
+            f"{type(self).__name__}({self.capacity}x{self.data_width}b, "
+            f"{self.category}): {cost.frequency_mhz:.0f} MHz, "
+            f"update {cost.update_latency} cy, search {cost.search_latency} cy"
+        )
+
+
+def occupied_first_match(
+    entries: Sequence[Optional[CamEntry]], key: int
+) -> SearchResult:
+    """Shared priority-match helper over an occupancy-ordered store."""
+    vector = 0
+    for address, entry in enumerate(entries):
+        if entry is not None and entry.matches(key):
+            vector |= 1 << address
+    return SearchResult.from_vector(key, vector)

@@ -1,0 +1,115 @@
+"""BRAM-based transposed-table TCAM (the HP-TCAM / PUMP-CAM family).
+
+Same transposed-table algorithm as the LUTRAM variant, but each chunk
+table lives in block RAM: chunks are 9 bits wide (512 rows, the natural
+BRAM address depth) and the match vector is striped across BRAMs 36
+bits at a time. BRAM reads are synchronous, so the search path gains a
+cycle per stage (read, AND-reduce, encode) -- the 5-cycle search
+latencies of Table I. Updates must rewrite all 512 rows; designs like
+PUMP-CAM multipump the BRAM at Nx the fabric clock to cut that to
+~512/N + overhead cycles, which the ``pump_factor`` parameter models.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.baselines.base import BaselineCam, CamCost
+from repro.core.mask import CamEntry
+from repro.core.types import SearchResult
+from repro.errors import CapacityError, ConfigError
+from repro.fabric.calibration import CalibratedCurve
+from repro.fabric.resources import ResourceVector
+
+#: Frequency anchored at published BRAM-CAM implementations:
+#: HP-TCAM (512 entries, 118 MHz) and PUMP-CAM (1024 entries, 87 MHz).
+_BRAM_FREQ = CalibratedCurve(
+    {512.0: 118.0, 1024.0: 87.0},
+    provenance="Table I (HP-TCAM, PUMP-CAM)",
+    clamp=(50.0, 200.0),
+)
+
+#: Natural BRAM geometry on Xilinx fabrics: 512 rows x 36-bit words.
+BRAM_ROWS = 512
+BRAM_WORD_BITS = 36
+
+
+class BramCam(BaselineCam):
+    """Block-RAM transposed-table TCAM (capacity-cheap, update-slow)."""
+
+    category = "BRAM"
+
+    def __init__(
+        self, capacity: int, data_width: int, pump_factor: int = 1
+    ) -> None:
+        super().__init__(capacity, data_width)
+        if pump_factor < 1:
+            raise ConfigError(f"pump_factor must be >= 1, got {pump_factor}")
+        self.pump_factor = pump_factor
+        self.chunk_bits = 9
+        self.num_chunks = math.ceil(data_width / self.chunk_bits)
+        self._tables: List[List[int]] = [
+            [0] * BRAM_ROWS for _ in range(self.num_chunks)
+        ]
+        self._occupancy = 0
+
+    # -- functional ----------------------------------------------------
+    def _program_entry(self, address: int, entry: CamEntry) -> None:
+        bit = 1 << address
+        chunk_mask = BRAM_ROWS - 1
+        for chunk in range(self.num_chunks):
+            shift = chunk * self.chunk_bits
+            value_bits = (entry.value >> shift) & chunk_mask
+            ignore_bits = (entry.mask >> shift) & chunk_mask
+            table = self._tables[chunk]
+            for row in range(BRAM_ROWS):
+                if (row & ~ignore_bits) == (value_bits & ~ignore_bits):
+                    table[row] |= bit
+                else:
+                    table[row] &= ~bit
+
+    def update(self, entries: Sequence[CamEntry]) -> None:
+        entries = list(entries)
+        if self._occupancy + len(entries) > self.capacity:
+            raise CapacityError(
+                f"BramCam overflow: {self._occupancy} + {len(entries)} > "
+                f"{self.capacity}"
+            )
+        for entry in entries:
+            self._program_entry(self._occupancy, entry)
+            self._occupancy += 1
+
+    def search(self, key: int) -> SearchResult:
+        vector = (1 << self._occupancy) - 1
+        for chunk in range(self.num_chunks):
+            row = (key >> (chunk * self.chunk_bits)) & (BRAM_ROWS - 1)
+            vector &= self._tables[chunk][row]
+            if not vector:
+                break
+        return SearchResult.from_vector(key, vector)
+
+    def reset(self) -> None:
+        for table in self._tables:
+            for row in range(BRAM_ROWS):
+                table[row] = 0
+        self._occupancy = 0
+
+    # -- cost ----------------------------------------------------------
+    def cost(self) -> CamCost:
+        brams = self.num_chunks * math.ceil(self.capacity / BRAM_WORD_BITS)
+        and_tree = math.ceil(self.capacity * (self.num_chunks - 1) / 6)
+        encoder = math.ceil(
+            self.capacity * max(1, math.ceil(math.log2(max(self.capacity, 2)))) / 6
+        )
+        update_latency = math.ceil(BRAM_ROWS / self.pump_factor) + 1
+        return CamCost(
+            resources=ResourceVector(
+                lut=and_tree + encoder,
+                ff=self.capacity + 2 * self.data_width,
+                bram=brams,
+            ),
+            frequency_mhz=round(_BRAM_FREQ(self.capacity) , 0),
+            update_latency=update_latency,
+            search_latency=5,
+        )

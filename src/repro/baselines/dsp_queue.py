@@ -1,0 +1,104 @@
+"""Cascaded DSP CAM in the style of Preusser et al. (FPL 2020).
+
+The prior DSP-based design ("Using DSP Slices as Content-Addressable
+Update Queues") chains DSP slices through their dedicated cascade
+paths: each slice holds one entry, the search key ripples down the
+cascade, and every slice compares as the key passes. The dedicated
+cascade routing is what buys the high clock rate, but a search result
+is only complete once the key has traversed a whole chain -- the
+42-cycle search latency of Table I for ~1000 entries in 24 parallel
+chains. Updates push new entries at the chain heads (it is a queue),
+which is cheap.
+
+This is the design the paper positions itself against: same resource
+class (DSPs), but long search latency and no multi-query support.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.baselines.base import BaselineCam, CamCost
+from repro.core.mask import CamEntry
+from repro.core.types import SearchResult
+from repro.errors import CapacityError, ConfigError
+from repro.fabric.resources import ResourceVector
+
+#: Published reference point: 1000 x 24-bit entries, 350 MHz, 42-cycle
+#: search on an XCVU9P (Table I).
+REFERENCE_LANES = 24
+
+
+class DspCascadeCam(BaselineCam):
+    """Cascade-of-DSP-queues CAM (fast clock, long search latency)."""
+
+    category = "DSP"
+
+    def __init__(
+        self, capacity: int, data_width: int, lanes: int = REFERENCE_LANES
+    ) -> None:
+        super().__init__(capacity, data_width)
+        if data_width > 48:
+            raise ConfigError(
+                f"a DSP slice stores at most 48 bits, got {data_width}"
+            )
+        if lanes < 1:
+            raise ConfigError(f"lanes must be >= 1, got {lanes}")
+        self.lanes = lanes
+        self._chains: List[List[CamEntry]] = [[] for _ in range(lanes)]
+        self._order: List[int] = []  # insertion order: chain index per entry
+
+    # ------------------------------------------------------------------
+    @property
+    def chain_depth(self) -> int:
+        """Depth of the longest cascade chain (the search latency core)."""
+        return max(1, math.ceil(self.capacity / self.lanes))
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._order)
+
+    # -- functional ----------------------------------------------------
+    def update(self, entries: Sequence[CamEntry]) -> None:
+        entries = list(entries)
+        if self.occupancy + len(entries) > self.capacity:
+            raise CapacityError(
+                f"DspCascadeCam overflow: {self.occupancy} + {len(entries)} "
+                f"> {self.capacity}"
+            )
+        for entry in entries:
+            lane = len(self._order) % self.lanes
+            self._chains[lane].append(entry)
+            self._order.append(lane)
+
+    def search(self, key: int) -> SearchResult:
+        # The hardware reports per-slice matches as the key ripples the
+        # cascade; addresses follow insertion order across lanes.
+        vector = 0
+        positions = [0] * self.lanes
+        for address, lane in enumerate(self._order):
+            entry = self._chains[lane][positions[lane]]
+            positions[lane] += 1
+            if entry.matches(key):
+                vector |= 1 << address
+        return SearchResult.from_vector(key, vector)
+
+    def reset(self) -> None:
+        self._chains = [[] for _ in range(self.lanes)]
+        self._order = []
+
+    # -- cost ----------------------------------------------------------
+    def cost(self) -> CamCost:
+        # One DSP per entry plus a small per-lane head/merge overhead in
+        # LUTs; cascade routing keeps the clock near the published
+        # 350 MHz until chains span SLRs.
+        dsp = self.capacity + self.lanes  # +1 cascade terminator per lane
+        merge_luts = math.ceil(self.capacity / 8) + 24 * self.lanes
+        frequency = 350.0 if self.chain_depth <= 64 else 300.0
+        return CamCost(
+            resources=ResourceVector(lut=merge_luts, dsp=dsp),
+            frequency_mhz=frequency,
+            update_latency=2,
+            search_latency=self.chain_depth + 2,
+        )

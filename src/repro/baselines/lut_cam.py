@@ -1,0 +1,128 @@
+"""Transposed-LUTRAM TCAM emulation (the Frac-TCAM / DURE family).
+
+The classic LUTRAM technique stores, for every ``chunk_bits``-wide slice
+of the key and every possible slice value, a bit vector over entries
+that records which entries accept that slice. A search reads one row
+per chunk (all chunks in parallel, one LUTRAM access) and ANDs the
+vectors -- 1-2 cycles. An update must rewrite the entry's bit in
+*every* row of every chunk table, which is why the published update
+latencies sit in the 33-65 cycle range (2^chunk_bits rows, written
+chunk-parallel, plus setup): the preprocessing overhead the paper's
+section I calls out.
+
+This model implements the actual table algorithm (so it is a working
+TCAM) and derives its costs from the table geometry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.baselines.base import BaselineCam, CamCost
+from repro.core.mask import CamEntry
+from repro.core.types import SearchResult
+from repro.errors import CapacityError, ConfigError
+from repro.fabric.calibration import CalibratedCurve
+from repro.fabric.resources import ResourceVector
+
+#: Achievable frequency anchored at published LUT-CAM implementations:
+#: Frac-TCAM (1024 entries, 357 MHz) and Scale-TCAM (4096, 139 MHz).
+_LUT_FREQ = CalibratedCurve(
+    {1024.0: 357.0, 4096.0: 139.0},
+    provenance="Table I (Frac-TCAM, Scale-TCAM)",
+    clamp=(60.0, 400.0),
+)
+
+
+class LutRamCam(BaselineCam):
+    """LUTRAM transposed-table TCAM (update-expensive, search-fast)."""
+
+    category = "LUT"
+
+    def __init__(
+        self, capacity: int, data_width: int, chunk_bits: int = 5
+    ) -> None:
+        super().__init__(capacity, data_width)
+        if not 1 <= chunk_bits <= 9:
+            raise ConfigError(f"chunk_bits must be 1..9, got {chunk_bits}")
+        self.chunk_bits = chunk_bits
+        self.num_chunks = math.ceil(data_width / chunk_bits)
+        self.rows_per_chunk = 1 << chunk_bits
+        # tables[chunk][row] = bitmask over entries matching that row.
+        self._tables: List[List[int]] = [
+            [0] * self.rows_per_chunk for _ in range(self.num_chunks)
+        ]
+        self._occupancy = 0
+
+    # ------------------------------------------------------------------
+    def _chunk_of(self, value: int, chunk: int) -> int:
+        return (value >> (chunk * self.chunk_bits)) & (self.rows_per_chunk - 1)
+
+    def _program_entry(self, address: int, entry: CamEntry) -> None:
+        """Write the entry's accept-bit into every chunk table row."""
+        bit = 1 << address
+        chunk_mask = self.rows_per_chunk - 1
+        for chunk in range(self.num_chunks):
+            shift = chunk * self.chunk_bits
+            value_bits = (entry.value >> shift) & chunk_mask
+            ignore_bits = (entry.mask >> shift) & chunk_mask
+            table = self._tables[chunk]
+            for row in range(self.rows_per_chunk):
+                accepts = (row & ~ignore_bits) == (value_bits & ~ignore_bits)
+                if accepts:
+                    table[row] |= bit
+                else:
+                    table[row] &= ~bit
+
+    # -- functional ----------------------------------------------------
+    def update(self, entries: Sequence[CamEntry]) -> None:
+        entries = list(entries)
+        if self._occupancy + len(entries) > self.capacity:
+            raise CapacityError(
+                f"LutRamCam overflow: {self._occupancy} + {len(entries)} > "
+                f"{self.capacity}"
+            )
+        for entry in entries:
+            self._program_entry(self._occupancy, entry)
+            self._occupancy += 1
+
+    def search(self, key: int) -> SearchResult:
+        vector = (1 << self._occupancy) - 1
+        for chunk in range(self.num_chunks):
+            row = self._chunk_of(key, chunk)
+            vector &= self._tables[chunk][row]
+            if not vector:
+                break
+        return SearchResult.from_vector(key, vector)
+
+    def reset(self) -> None:
+        for table in self._tables:
+            for row in range(self.rows_per_chunk):
+                table[row] = 0
+        self._occupancy = 0
+
+    # -- cost ----------------------------------------------------------
+    def cost(self) -> CamCost:
+        # Each chunk table is rows x capacity bits of LUTRAM; a 6-input
+        # LUT provides 64 bits, so LUTs = chunks * capacity * rows / 64,
+        # plus the AND-reduce tree and the priority encoder.
+        table_luts = math.ceil(
+            self.num_chunks * self.capacity * self.rows_per_chunk / 64
+        )
+        and_tree = math.ceil(self.capacity * (self.num_chunks - 1) / 6)
+        encoder = math.ceil(
+            self.capacity * max(1, math.ceil(math.log2(max(self.capacity, 2)))) / 6
+        )
+        # Update rewrites every row once (rows are written chunk-parallel)
+        # plus a fixed mask-preprocessing overhead.
+        update_latency = self.rows_per_chunk + 6
+        return CamCost(
+            resources=ResourceVector(
+                lut=table_luts + and_tree + encoder,
+                ff=self.capacity + 2 * self.data_width,
+            ),
+            frequency_mhz=round(_LUT_FREQ(self.capacity), 0),
+            update_latency=update_latency,
+            search_latency=2,
+        )

@@ -1,0 +1,61 @@
+"""Naive flip-flop/LUT brute-force CAM baseline.
+
+Every entry lives in ``data_width`` flip-flops with a dedicated
+LUT-compare tree; all comparators run in parallel and feed an OR/priority
+tree. This is the textbook FPGA CAM: excellent latency, terrible
+scaling, included as the lower anchor of the Figure 1 comparison.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.baselines.base import BaselineCam, CamCost, occupied_first_match
+from repro.core.mask import CamEntry
+from repro.core.types import SearchResult
+from repro.errors import CapacityError
+from repro.fabric.resources import ResourceVector
+
+
+class RegisterCam(BaselineCam):
+    """Brute-force registered CAM (FF storage + LUT comparators)."""
+
+    category = "LUT"
+
+    def __init__(self, capacity: int, data_width: int) -> None:
+        super().__init__(capacity, data_width)
+        self._entries: List[Optional[CamEntry]] = []
+
+    # -- functional ----------------------------------------------------
+    def update(self, entries: Sequence[CamEntry]) -> None:
+        entries = list(entries)
+        if len(self._entries) + len(entries) > self.capacity:
+            raise CapacityError(
+                f"RegisterCam overflow: {len(self._entries)} + "
+                f"{len(entries)} > {self.capacity}"
+            )
+        self._entries.extend(entries)
+
+    def search(self, key: int) -> SearchResult:
+        return occupied_first_match(self._entries, key)
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    # -- cost ----------------------------------------------------------
+    def cost(self) -> CamCost:
+        # Storage FFs plus a 6-input-LUT compare tree per entry and a
+        # priority/OR reduction over all entries.
+        compare_luts = self.capacity * math.ceil(self.data_width / 3)
+        reduce_luts = math.ceil(self.capacity / 3)
+        ffs = self.capacity * self.data_width
+        # The wide OR tree is the critical path: ~log6 levels.
+        levels = max(1, math.ceil(math.log(max(self.capacity, 2), 6)))
+        frequency = max(80.0, 450.0 - 45.0 * levels)
+        return CamCost(
+            resources=ResourceVector(lut=compare_luts + reduce_luts, ff=ffs),
+            frequency_mhz=frequency,
+            update_latency=1,
+            search_latency=2,
+        )

@@ -1,0 +1,172 @@
+"""Survey of published FPGA CAM designs (paper Table I) and the
+Figure 1 characteristic scores derived from it.
+
+The literature rows are recorded verbatim from the paper; our own row
+is produced by :func:`repro.core.analysis.our_survey_row` from the
+models so the bench regenerates rather than restates it. ``None``
+means the original publication did not report the value (the table's
+"-" entries).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.analysis import our_survey_row
+
+
+@dataclass(frozen=True)
+class SurveyEntry:
+    """One Table I row."""
+
+    name: str
+    category: str  # LUT / BRAM / Hybrid / DSP
+    platform: str
+    entries: int
+    width: int
+    frequency_mhz: float
+    lut: Optional[int]
+    bram: Optional[int]
+    dsp: Optional[int]
+    update_latency: Optional[int]
+    search_latency: Optional[int]
+    note: str = ""
+
+    @property
+    def size_bits(self) -> int:
+        return self.entries * self.width
+
+
+#: Published designs, in the paper's row order.
+LITERATURE: List[SurveyEntry] = [
+    SurveyEntry("Scale-TCAM", "LUT", "XC7V2000T", 4096, 150, 139.0,
+                322_648, 0, 0, 33, None,
+                note="LUTs = 80662 slices x 4"),
+    SurveyEntry("DURE", "LUT", "Virtex-6", 1024, 144, 175.0,
+                35_807, 0, 0, 65, 1,
+                note="latencies measured on a single 512x36 block"),
+    SurveyEntry("BPR-CAM", "LUT", "XC6VLX760", 1024, 144, 111.0,
+                15_260, 0, 0, None, 2),
+    SurveyEntry("Frac-TCAM", "LUT", "XC7V2000T", 1024, 160, 357.0,
+                16_384, 0, 0, 38, None),
+    SurveyEntry("HP-TCAM", "BRAM", "Virtex-6", 512, 36, 118.0,
+                5_326, 56, 0, None, 5),
+    SurveyEntry("PUMP-CAM", "BRAM", "XC6VLX760", 1024, 140, 87.0,
+                7_516, 80, 0, 129, None),
+    SurveyEntry("IO-CAM", "BRAM", "Intel Arria V 5ASTD5", 8192, 32, 135.0,
+                19_017, 2_112, 0, None, None,
+                note="ALMs and M10Ks on the Intel fabric"),
+    SurveyEntry("REST-CAM", "Hybrid", "Kintex-7", 72, 28, 50.0,
+                130, 1, 0, 513, 5),
+    SurveyEntry("Preusser et al.", "DSP", "XCVU9P", 1000, 24, 350.0,
+                2_843, 0, 1_022, None, 42),
+]
+
+
+def ours_entry() -> SurveyEntry:
+    """Our design's row, regenerated from the models."""
+    row = our_survey_row()
+    return SurveyEntry(
+        name="Ours",
+        category="DSP",
+        platform=row["platform"],
+        entries=row["entries"],
+        width=row["width"],
+        frequency_mhz=row["frequency_mhz"],
+        lut=row["lut"],
+        bram=row["bram"],
+        dsp=row["dsp"],
+        update_latency=row["update_latency"],
+        search_latency=row["search_latency"],
+        note="measured from the cycle model + calibrated area/timing",
+    )
+
+
+def full_survey() -> List[SurveyEntry]:
+    """Every Table I row including ours."""
+    return LITERATURE + [ours_entry()]
+
+
+# ----------------------------------------------------------------------
+# Figure 1: characteristics per design family
+# ----------------------------------------------------------------------
+#: The five radar axes of Figure 1, in presentation order.
+AXES = ("scalability", "performance", "frequency", "integration",
+        "multi_query")
+
+#: Qualitative axes not derivable from Table I numbers alone; rubric:
+#: *integration* reflects how much bespoke glue an accelerator needs
+#: (hybrid designs manage several resource types -> hardest; our unit is
+#: generated from parameters with a bus interface -> easiest).
+#: *multi-query* is structural: only the grouped unit answers multiple
+#: keys per cycle.
+_RUBRIC = {
+    "LUT": {"integration": 0.50, "multi_query": 0.20},
+    "BRAM": {"integration": 0.50, "multi_query": 0.20},
+    "Hybrid": {"integration": 0.25, "multi_query": 0.20},
+    "DSP (prior)": {"integration": 0.50, "multi_query": 0.20},
+    "Ours": {"integration": 1.00, "multi_query": 1.00},
+}
+
+#: Latency fallbacks (cycles) for rows whose publication omitted one of
+#: the two numbers, taken from each family's algorithmic behaviour
+#: (see repro.baselines.lut_cam / bram_cam docstrings).
+_FAMILY_DEFAULTS = {
+    "LUT": {"update": 38, "search": 2},
+    "BRAM": {"update": 129, "search": 5},
+    "Hybrid": {"update": 513, "search": 5},
+    "DSP": {"update": 2, "search": 42},
+}
+
+
+def _family_of(entry: SurveyEntry) -> str:
+    if entry.name == "Ours":
+        return "Ours"
+    if entry.category == "DSP":
+        return "DSP (prior)"
+    return entry.category
+
+
+def _latency_sum(entry: SurveyEntry) -> float:
+    defaults = _FAMILY_DEFAULTS.get(entry.category, {"update": 64, "search": 8})
+    update = entry.update_latency if entry.update_latency is not None else defaults["update"]
+    search = entry.search_latency if entry.search_latency is not None else defaults["search"]
+    return float(update + search)
+
+
+def characteristics() -> Dict[str, Dict[str, float]]:
+    """Figure 1 scores in [0, 1] per design family.
+
+    Quantitative axes come from Table I: scalability is the log of the
+    family's best demonstrated CAM size, frequency its best clock, and
+    performance the inverse of its best combined update+search latency.
+    Integration and multi-query follow the documented rubric.
+    """
+    rows = full_survey()
+    families: Dict[str, List[SurveyEntry]] = {}
+    for row in rows:
+        families.setdefault(_family_of(row), []).append(row)
+
+    # Scalability per the figure's caption: "the achieved CAM size",
+    # i.e. demonstrated entry count.
+    best_entries = max(row.entries for row in rows)
+    best_freq = max(row.frequency_mhz for row in rows)
+    best_inv_latency = max(1.0 / _latency_sum(row) for row in rows)
+
+    scores: Dict[str, Dict[str, float]] = {}
+    for family, members in families.items():
+        entries = max(member.entries for member in members)
+        freq = max(member.frequency_mhz for member in members)
+        inv_latency = max(1.0 / _latency_sum(member) for member in members)
+        scores[family] = {
+            "scalability": round(
+                math.log2(entries) / math.log2(best_entries), 3
+            ),
+            "performance": round(inv_latency / best_inv_latency, 3),
+            "frequency": round(freq / best_freq, 3),
+            "integration": _RUBRIC[family]["integration"],
+            "multi_query": _RUBRIC[family]["multi_query"],
+        }
+    return scores

@@ -1,0 +1,305 @@
+"""One function per paper exhibit, shared by the benches and the CLI.
+
+Each function regenerates its table/figure from the models and returns
+a :class:`repro.bench.tables.TableData` carrying measured values side
+by side with the paper's published numbers (where the exhibit has
+them). The benchmark files under ``benchmarks/`` time and print these;
+the CLI prints them on demand; EXPERIMENTS.md records their output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.baselines.survey import AXES, characteristics, full_survey
+from repro.core.analysis import (
+    measure_block,
+    measure_cell,
+    measure_unit_performance,
+    unit_scaling,
+)
+from repro.core.types import CamType
+from repro.apps.tc.runner import arithmetic_mean_speedup, run_all
+from repro.bench.tables import TableData
+from repro.fabric.area import provenance as area_provenance
+from repro.fabric.timing import provenance as timing_provenance
+
+#: Paper Table VI reference values, keyed by block size.
+PAPER_TABLE_VI = {
+    32: dict(update=1, search=3, up_tput=4800, se_tput=300, lut=694, freq=300),
+    64: dict(update=1, search=3, up_tput=4800, se_tput=300, lut=745, freq=300),
+    128: dict(update=1, search=3, up_tput=4800, se_tput=300, lut=808, freq=300),
+    256: dict(update=1, search=4, up_tput=4800, se_tput=300, lut=1225, freq=300),
+    512: dict(update=1, search=4, up_tput=4800, se_tput=300, lut=1371, freq=300),
+}
+
+#: Paper Table VII reference values, keyed by total entries.
+PAPER_TABLE_VII = {
+    512: dict(lut=2491, dsp=512, freq=300),
+    1024: dict(lut=5072, dsp=1024, freq=300),
+    2048: dict(lut=10167, dsp=2048, freq=300),
+    4096: dict(lut=20330, dsp=4096, freq=265),
+    6144: dict(lut=29385, dsp=6144, freq=252),
+    8192: dict(lut=38191, dsp=8192, freq=240),
+    9728: dict(lut=45244, dsp=9728, freq=235),
+}
+
+#: Paper Table VIII reference values, keyed by total entries.
+PAPER_TABLE_VIII = {
+    128: dict(update=6, search=7, up_tput=4800, se_tput=300),
+    512: dict(update=6, search=7, up_tput=4800, se_tput=300),
+    2048: dict(update=6, search=8, up_tput=4800, se_tput=300),
+    4096: dict(update=6, search=8, up_tput=4064, se_tput=254),
+    8192: dict(update=6, search=8, up_tput=3840, se_tput=240),
+}
+
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+def fig01_characteristics() -> TableData:
+    """Radar-chart scores of the CAM design families (figure 1)."""
+    scores = characteristics()
+    order = ["LUT", "BRAM", "Hybrid", "DSP (prior)", "Ours"]
+    headers = ["family"] + list(AXES)
+    rows = [
+        [family] + [scores[family][axis] for axis in AXES]
+        for family in order
+        if family in scores
+    ]
+    return TableData(
+        title="Figure 1: characteristics of FPGA CAM design families (0..1)",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "scalability/performance/frequency derived from Table I data; "
+            "integration & multi-query follow the documented rubric "
+            "(repro.baselines.survey)."
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def table01_survey() -> TableData:
+    """Survey of recent CAM designs on FPGA (Table I)."""
+    headers = [
+        "design", "category", "platform", "max CAM size", "MHz",
+        "LUT", "BRAM", "DSP", "update (cy)", "search (cy)",
+    ]
+    rows: List[List[object]] = []
+    for entry in full_survey():
+        rows.append([
+            entry.name,
+            entry.category,
+            entry.platform,
+            f"{entry.entries} x {entry.width} bits",
+            entry.frequency_mhz,
+            entry.lut,
+            entry.bram,
+            entry.dsp,
+            entry.update_latency,
+            entry.search_latency,
+        ])
+    return TableData(
+        title="Table I: survey of recent CAM designs on FPGA",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "'Ours' row regenerated from the models (latency from the cycle "
+            "simulator, resources/frequency from the calibrated fabric model).",
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table V
+# ----------------------------------------------------------------------
+def table05_cell() -> TableData:
+    """CAM cell evaluation (Table V), measured in the simulator."""
+    headers = ["cell type", "capacity", "update (cy)", "search (cy)",
+               "DSP", "LUT", "BRAM"]
+    rows = []
+    for cam_type in CamType:
+        report = measure_cell(cam_type)
+        rows.append([
+            cam_type.value,
+            "1 entry <= 48 bits",
+            report.update_latency,
+            report.search_latency,
+            report.resources.dsp,
+            report.resources.lut,
+            report.resources.bram,
+        ])
+    return TableData(
+        title="Table V: CAM cell evaluation (paper: update 1, search 2, 1 DSP)",
+        headers=headers,
+        rows=rows,
+        notes=["identical for all three cell types, as the paper reports"],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VI
+# ----------------------------------------------------------------------
+def table06_block(sizes: Sequence[int] = (32, 64, 128, 256, 512)) -> TableData:
+    """CAM block evaluation with different sizes (Table VI).
+
+    The paper's throughput rows (4800 / 300 Mop/s) correspond to
+    16 words per 512-bit beat, i.e. 32-bit stored words, which is the
+    width used here; cell capacity stays "<= 48 bits" as in Table V.
+    """
+    headers = ["metric"] + [str(size) for size in sizes]
+    reports = [measure_block(size, data_width=32) for size in sizes]
+    paper = [PAPER_TABLE_VI.get(size) for size in sizes]
+
+    def row(label, ours, theirs):
+        return ([label + " (measured)"] + ours,
+                [label + " (paper)"] + theirs)
+
+    rows: List[List[object]] = []
+    for label, ours, theirs in [
+        ("update latency", [r.update_latency for r in reports],
+         [p["update"] if p else None for p in paper]),
+        ("search latency", [r.search_latency for r in reports],
+         [p["search"] if p else None for p in paper]),
+        ("update tput (Mop/s)", [r.update_throughput_mops for r in reports],
+         [p["up_tput"] if p else None for p in paper]),
+        ("search tput (Mop/s)", [r.search_throughput_mops for r in reports],
+         [p["se_tput"] if p else None for p in paper]),
+        ("LUTs", [r.resources.lut for r in reports],
+         [p["lut"] if p else None for p in paper]),
+        ("DSPs", [r.resources.dsp for r in reports], list(sizes)),
+        ("frequency (MHz)", [r.frequency_mhz for r in reports],
+         [p["freq"] if p else None for p in paper]),
+    ]:
+        measured_row, paper_row = row(label, list(ours), list(theirs))
+        rows.append(measured_row)
+        rows.append(paper_row)
+    return TableData(
+        title="Table VI: CAM block evaluation with different size",
+        headers=headers,
+        rows=rows,
+        notes=[area_provenance()],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VII
+# ----------------------------------------------------------------------
+def table07_unit_scaling(
+    sizes: Sequence[int] = (512, 1024, 2048, 4096, 6144, 8192, 9728),
+) -> TableData:
+    """CAM unit configuration and resource utilisation (Table VII)."""
+    headers = ["CAM size (x48b)", "LUT", "LUT paper", "DSP",
+               "freq MHz", "freq paper", "LUT util %", "DSP util %"]
+    rows = []
+    for size in sizes:
+        report = unit_scaling(size)
+        paper = PAPER_TABLE_VII.get(size, {})
+        rows.append([
+            size,
+            report.luts,
+            paper.get("lut"),
+            report.dsps,
+            report.frequency_mhz,
+            paper.get("freq"),
+            round(100 * report.lut_utilisation, 2),
+            round(100 * report.dsp_utilisation, 2),
+        ])
+    return TableData(
+        title="Table VII: CAM unit configuration and resource utilisation",
+        headers=headers,
+        rows=rows,
+        notes=[area_provenance(), timing_provenance()],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table VIII
+# ----------------------------------------------------------------------
+def table08_unit_perf(
+    sizes: Sequence[int] = (128, 512, 2048, 4096, 8192),
+    block_size: int = 128,
+) -> TableData:
+    """CAM performance for 32-bit data with different sizes (Table VIII).
+
+    Latencies are measured end-to-end in the cycle simulator; the
+    throughputs combine the measured initiation interval (1) with the
+    calibrated frequency.
+    """
+    headers = ["metric"] + [str(size) for size in sizes]
+    reports = [
+        measure_unit_performance(size, block_size=min(block_size, size))
+        for size in sizes
+    ]
+    paper = [PAPER_TABLE_VIII.get(size) for size in sizes]
+    rows = []
+    for label, ours, theirs in [
+        ("update latency", [r.update_latency for r in reports],
+         [p["update"] if p else None for p in paper]),
+        ("search latency", [r.search_latency for r in reports],
+         [p["search"] if p else None for p in paper]),
+        ("update tput (Mop/s)", [r.update_throughput_mops for r in reports],
+         [p["up_tput"] if p else None for p in paper]),
+        ("search tput (Mop/s)", [r.search_throughput_mops for r in reports],
+         [p["se_tput"] if p else None for p in paper]),
+    ]:
+        rows.append([label + " (measured)"] + list(ours))
+        rows.append([label + " (paper)"] + list(theirs))
+    return TableData(
+        title="Table VIII: CAM performance for 32-bit data with different sizes",
+        headers=headers,
+        rows=rows,
+        notes=["latencies simulated cycle-accurately; " + timing_provenance()],
+    )
+
+
+# ----------------------------------------------------------------------
+# Table IX
+# ----------------------------------------------------------------------
+def table09_triangle_counting(
+    datasets: Optional[Iterable[str]] = None,
+    max_edges: int = 120_000,
+    seed: int = 0,
+) -> TableData:
+    """Triangle-counting execution time (Table IX) on the stand-ins."""
+    rows_data = run_all(datasets, max_edges=max_edges, seed=seed)
+    headers = ["dataset", "scale", "triangles", "ours (ms)", "baseline (ms)",
+               "speedup", "paper speedup"]
+    rows = []
+    for row in rows_data:
+        rows.append([
+            row.dataset,
+            round(row.scale, 4),
+            row.triangles,
+            round(row.cam_ms, 3),
+            round(row.baseline_ms, 3),
+            round(row.speedup, 2),
+            round(row.paper_speedup, 2),
+        ])
+    average = arithmetic_mean_speedup(rows_data)
+    rows.append(["average", None, None, None, None, round(average, 2), 4.92])
+    return TableData(
+        title="Table IX: execution time of merge-based vs CAM-based TC",
+        headers=headers,
+        rows=rows,
+        notes=[
+            "graphs are synthetic stand-ins scaled to <= "
+            f"{max_edges} edges (see DESIGN.md); absolute ms are not "
+            "comparable to the paper, per-dataset speedup shape is",
+        ],
+    )
+
+
+#: Every exhibit, for the CLI's `--all` and the EXPERIMENTS.md generator.
+ALL_EXHIBITS = {
+    "fig1": fig01_characteristics,
+    "table1": table01_survey,
+    "table5": table05_cell,
+    "table6": table06_block,
+    "table7": table07_unit_scaling,
+    "table8": table08_unit_perf,
+    "table9": table09_triangle_counting,
+}

@@ -1,0 +1,219 @@
+"""Command-line interface: ``dsp-cam`` / ``python -m repro``.
+
+Subcommands:
+
+- ``info``                       -- library and configuration summary
+- ``exhibit {fig1,table1,...}``  -- regenerate a paper table/figure
+- ``generate-hdl``               -- emit the Verilog templates
+- ``demo``                       -- quick update/search round-trip
+- ``tc``                         -- run the triangle-counting case study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.bench.experiments import ALL_EXHIBITS
+from repro.core import CamSession, CamType, unit_for_entries
+from repro.errors import ReproError
+from repro.graph.datasets import dataset_names
+from repro.hdlgen import write_project
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dsp-cam",
+        description="Configurable DSP-based CAM for FPGAs (DAC 2025) - "
+                    "reference reproduction",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print library and model summary")
+
+    exhibit = sub.add_parser("exhibit", help="regenerate a paper exhibit")
+    exhibit.add_argument("name", choices=sorted(ALL_EXHIBITS) + ["all"])
+    exhibit.add_argument("--max-edges", type=int, default=60_000,
+                         help="stand-in graph size cap for table9")
+
+    hdl = sub.add_parser("generate-hdl", help="emit the Verilog templates")
+    hdl.add_argument("--out", default="generated_hdl")
+    hdl.add_argument("--entries", type=int, default=2048)
+    hdl.add_argument("--block-size", type=int, default=128)
+    hdl.add_argument("--data-width", type=int, default=32)
+    hdl.add_argument("--bus-width", type=int, default=512)
+
+    demo = sub.add_parser("demo", help="update/search round-trip demo")
+    demo.add_argument("--entries", type=int, default=256)
+    demo.add_argument("--groups", type=int, default=2)
+
+    tc = sub.add_parser("tc", help="triangle-counting case study")
+    tc.add_argument("--dataset", choices=dataset_names() + ["all"],
+                    default="all")
+    tc.add_argument("--max-edges", type=int, default=60_000)
+
+    sweep = sub.add_parser("sweep", help="measure a custom size sweep")
+    sweep.add_argument("level", choices=["block", "unit"])
+    sweep.add_argument("--sizes", default="32,64,128,256",
+                       help="comma-separated sizes (cells or entries)")
+    sweep.add_argument("--data-width", type=int, default=32)
+
+    vcd = sub.add_parser(
+        "vcd", help="run a small traced scenario and dump a VCD waveform"
+    )
+    vcd.add_argument("--out", default="cam_trace.vcd")
+    return parser
+
+
+def _cmd_info() -> int:
+    from repro.fabric import ALVEO_U250
+    from repro.fabric.area import provenance as area_note
+    from repro.fabric.timing import provenance as timing_note
+
+    print(f"repro {__version__} - DSP-based CAM reproduction (DAC 2025)")
+    print(f"target device: {ALVEO_U250.name} "
+          f"({ALVEO_U250.capacity.dsp} DSPs, {ALVEO_U250.capacity.lut} LUTs)")
+    print(area_note())
+    print(timing_note())
+    print("exhibits:", ", ".join(sorted(ALL_EXHIBITS)))
+    return 0
+
+
+def _cmd_exhibit(name: str, max_edges: int) -> int:
+    names = sorted(ALL_EXHIBITS) if name == "all" else [name]
+    for exhibit_name in names:
+        builder = ALL_EXHIBITS[exhibit_name]
+        if exhibit_name == "table9":
+            table = builder(max_edges=max_edges)
+        else:
+            table = builder()
+        print(table.render())
+        print()
+    return 0
+
+
+def _cmd_generate_hdl(args: argparse.Namespace) -> int:
+    config = unit_for_entries(
+        args.entries,
+        block_size=args.block_size,
+        data_width=args.data_width,
+        bus_width=args.bus_width,
+    )
+    written = write_project(config, args.out)
+    for name, path in written.items():
+        print(f"wrote {path}")
+    print(f"configuration: {config.num_blocks} blocks x "
+          f"{config.block.block_size} cells, {config.data_width}-bit data")
+    return 0
+
+
+def _cmd_demo(entries: int, groups: int) -> int:
+    session = CamSession(unit_for_entries(
+        entries, block_size=64, data_width=32, default_groups=groups,
+        cam_type=CamType.BINARY,
+    ))
+    stored = list(range(100, 100 + min(entries // groups, 64)))
+    session.update(stored)
+    print(f"stored {len(stored)} words in {session.last_update_stats.cycles} cycles")
+    probes = [stored[0], stored[-1], 99999]
+    results = session.search(probes)
+    for probe, result in zip(probes, results):
+        print(f"  search {probe}: hit={result.hit} address={result.address}")
+    print(f"search of {len(probes)} keys took "
+          f"{session.last_search_stats.cycles} cycles "
+          f"({groups} concurrent queries/cycle)")
+    return 0
+
+
+def _cmd_tc(dataset: str, max_edges: int) -> int:
+    from repro.apps.tc import arithmetic_mean_speedup, run_all, run_dataset
+
+    if dataset == "all":
+        rows = run_all(max_edges=max_edges)
+    else:
+        rows = [run_dataset(dataset, max_edges=max_edges)]
+    print(f"{'dataset':20s} {'edges':>9s} {'triangles':>10s} "
+          f"{'ours ms':>9s} {'base ms':>9s} {'speedup':>7s} {'paper':>6s}")
+    for row in rows:
+        print(f"{row.dataset:20s} {row.edges:9d} {row.triangles:10d} "
+              f"{row.cam_ms:9.3f} {row.baseline_ms:9.3f} "
+              f"{row.speedup:7.2f} {row.paper_speedup:6.2f}")
+    if len(rows) > 1:
+        print(f"average speedup: {arithmetic_mean_speedup(rows):.2f} "
+              "(paper: 4.92)")
+    return 0
+
+
+def _cmd_sweep(level: str, sizes_csv: str, data_width: int) -> int:
+    from repro.core import measure_block, measure_unit_performance
+
+    sizes = [int(token) for token in sizes_csv.split(",") if token.strip()]
+    if level == "block":
+        print(f"{'size':>6s} {'upd cy':>6s} {'srch cy':>7s} "
+              f"{'LUT':>6s} {'DSP':>6s} {'MHz':>5s}")
+        for size in sizes:
+            report = measure_block(size, data_width=data_width)
+            print(f"{size:6d} {report.update_latency:6d} "
+                  f"{report.search_latency:7d} {report.resources.lut:6d} "
+                  f"{report.resources.dsp:6d} {report.frequency_mhz:5.0f}")
+    else:
+        print(f"{'entries':>8s} {'upd cy':>6s} {'srch cy':>7s} "
+              f"{'upd Mop/s':>9s} {'srch Mop/s':>10s}")
+        for size in sizes:
+            report = measure_unit_performance(
+                size, block_size=min(128, size), data_width=data_width
+            )
+            print(f"{size:8d} {report.update_latency:6d} "
+                  f"{report.search_latency:7d} "
+                  f"{report.update_throughput_mops:9.0f} "
+                  f"{report.search_throughput_mops:10.0f}")
+    return 0
+
+
+def _cmd_vcd(out_path: str) -> int:
+    from repro.sim import write_vcd
+
+    session = CamSession(
+        unit_for_entries(64, block_size=16, data_width=32, bus_width=128,
+                         default_groups=2),
+        trace=True,
+    )
+    session.update([0xAA, 0xBB, 0xCC])
+    session.search([0xBB, 0x99])
+    session.delete(0xAA)
+    write_vcd(session.trace, out_path)
+    print(f"wrote {len(session.trace)} trace events "
+          f"({session.cycle} cycles) to {out_path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "exhibit":
+            return _cmd_exhibit(args.name, args.max_edges)
+        if args.command == "generate-hdl":
+            return _cmd_generate_hdl(args)
+        if args.command == "demo":
+            return _cmd_demo(args.entries, args.groups)
+        if args.command == "tc":
+            return _cmd_tc(args.dataset, args.max_edges)
+        if args.command == "sweep":
+            return _cmd_sweep(args.level, args.sizes, args.data_width)
+        if args.command == "vcd":
+            return _cmd_vcd(args.out)
+        parser.error(f"unknown command {args.command!r}")
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""The CAM block (paper section III-B, figure 3).
+
+A block groups a configurable number of DSP-based cells with the
+control logic that makes them an operational CAM:
+
+- a **DeMUX** steering the input bus to the update or search logic,
+- **update logic** with a cell-address controller that writes up to
+  ``bus_width / data_width`` words into consecutive cells in a single
+  cycle,
+- **search logic** broadcasting one masked key to every cell,
+- an **encoder** condensing the per-cell match bits into the configured
+  output scheme, with an optional extra output buffer register that the
+  paper inserts for timing on large blocks/units,
+- a **reset** path clearing every cell.
+
+Measured timing (Table VI): update latency 1 cycle for any beat;
+search latency 3 cycles (cells 2 + encoder register 1) or 4 with the
+output buffer. Both paths are fully pipelined (initiation interval 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import BlockConfig
+from repro.core.cell import CamCell
+from repro.core.encoder import ResultEncoder
+from repro.core.mask import CamEntry
+from repro.core.types import SearchResult
+from repro.errors import CapacityError, ConfigError
+from repro.fabric.area import block_resources
+from repro.fabric.resources import ResourceVector
+from repro.sim.component import Component
+
+#: Depth of the cell search path: C register + P register.
+_CELL_PIPE_DEPTH = 2
+
+
+class CamBlock(Component):
+    """One CAM block: cells plus DeMUX, update/search logic, encoder.
+
+    Input ports (drive during a compute phase, or before a testbench
+    step; consumed and self-cleared each cycle). Updates and searches
+    use *separate* paths into the cells (figure 3: the DeMUX feeds an
+    update logic and a search logic) -- a write lands on the cells' A/B
+    ports while a compare uses the C port -- so one block accepts an
+    update beat and a search beat in the same cycle:
+
+    - :attr:`in_update_valid` / :attr:`in_update` -- sequence of
+      :class:`CamEntry` words (at most :attr:`words_per_beat`).
+    - :attr:`in_search_valid` / :attr:`in_key` -- search key.
+    - :attr:`in_delete` -- when asserted with a search, matching cells
+      are invalidated when the comparison completes (delete-by-content;
+      an extension beyond the paper, see DESIGN.md section 5).
+    - :attr:`in_reset` -- clear all stored content.
+
+    Registered outputs:
+
+    - :attr:`result_valid` / :attr:`result` -- one
+      :class:`SearchResult` per completed search.
+    - :attr:`update_done` -- pulses the cycle after an update lands.
+    """
+
+    def __init__(
+        self,
+        config: BlockConfig,
+        block_id: int = 0,
+        buffered: Optional[bool] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name or f"block{block_id}")
+        self.config = config
+        self.block_id = block_id
+        self.buffered = config.buffered if buffered is None else buffered
+        self.encoder = ResultEncoder(config.encoding, config.block_size)
+        self.cells: List[CamCell] = [
+            self.add_child(
+                CamCell(
+                    cam_type=config.cell.cam_type,
+                    data_width=config.cell.data_width,
+                    name=f"{self.name}.cell{i}",
+                )
+            )
+            for i in range(config.block_size)
+        ]
+        self.reset_state()
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.config.block_size
+
+    @property
+    def words_per_beat(self) -> int:
+        return self.config.words_per_beat
+
+    @property
+    def occupancy(self) -> int:
+        """Number of cells consumed (the fill pointer; holes included)."""
+        return self._fill
+
+    @property
+    def live_entries(self) -> int:
+        """Stored words minus delete-by-content invalidations."""
+        return self._fill - self._deleted
+
+    @property
+    def free_cells(self) -> int:
+        return self.size - self._fill
+
+    @property
+    def full(self) -> bool:
+        return self._fill >= self.size
+
+    @property
+    def search_latency(self) -> int:
+        """Cycles from key-in to result-out for this instance."""
+        return _CELL_PIPE_DEPTH + 1 + (1 if self.buffered else 0)
+
+    @property
+    def update_latency(self) -> int:
+        return 1
+
+    # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        self.in_update_valid = False
+        self.in_update: Sequence[CamEntry] = ()
+        self.in_search_valid = False
+        self.in_key = 0
+        self.in_delete = False
+        self.in_reset = False
+        self.result_valid = False
+        self.result: Optional[SearchResult] = None
+        self.update_done = False
+        self._fill = 0
+        self._deleted = 0
+        self._search_pipe: List[Optional[Tuple[int, bool]]] = (
+            [None] * _CELL_PIPE_DEPTH
+        )
+        self._buffer: Tuple[bool, Optional[SearchResult]] = (False, None)
+
+    # ------------------------------------------------------------------
+    def compute(self) -> None:
+        updates = {
+            "in_update_valid": False,
+            "in_search_valid": False,
+            "in_delete": False,
+            "in_reset": False,
+            "update_done": False,
+        }
+        search_token: Optional[Tuple[int, bool]] = None
+
+        if self.in_reset:
+            if self.in_update_valid:
+                raise ConfigError(
+                    f"{self.name}: reset and update collide in one cycle"
+                )
+            for cell in self.cells:
+                cell.clear = True
+            updates["_fill"] = 0
+            updates["_deleted"] = 0
+        elif self.in_update_valid:
+            updates["_fill"] = self._apply_update(self.in_update)
+            updates["update_done"] = True
+
+        if self.in_search_valid:
+            search_token = (self.in_key, self.in_delete)
+            self._broadcast(self.in_key)
+
+        # Search pipeline: tokens track keys through the 2-cycle cell path.
+        token_out = self._search_pipe[-1]
+        updates["_search_pipe"] = [search_token] + self._search_pipe[:-1]
+
+        if token_out is not None:
+            key, delete = token_out
+            match_bits = [cell.match_now() for cell in self.cells]
+            encoded = self.encoder.encode(key, match_bits)
+            if delete and encoded.hit:
+                # Delete-by-content: invalidate every matching cell as
+                # the comparison completes. Freed cells are reclaimed at
+                # reset, not reused (the fill pointer stays monotone).
+                for index, matched in enumerate(match_bits):
+                    if matched:
+                        self.cells[index].clear = True
+                if "_deleted" not in updates:
+                    updates["_deleted"] = self._deleted + encoded.match_count
+        else:
+            encoded = None
+
+        if self.buffered:
+            buffered_valid, buffered_result = self._buffer
+            updates["_buffer"] = (encoded is not None, encoded)
+            updates["result_valid"] = buffered_valid
+            updates["result"] = buffered_result
+        else:
+            updates["result_valid"] = encoded is not None
+            updates["result"] = encoded
+
+        self.schedule(**updates)
+        if encoded is not None:
+            self.emit(match=encoded.hit, key=token_out)
+
+    # ------------------------------------------------------------------
+    def _apply_update(self, entries: Sequence[CamEntry]) -> int:
+        """Demux an update beat onto consecutive cells; return new fill."""
+        entries = tuple(entries)
+        if not entries:
+            raise ConfigError(f"{self.name}: empty update beat")
+        if len(entries) > self.words_per_beat:
+            raise CapacityError(
+                f"{self.name}: beat carries {len(entries)} words but the "
+                f"bus fits {self.words_per_beat}"
+            )
+        if self._fill + len(entries) > self.size:
+            raise CapacityError(
+                f"{self.name}: update of {len(entries)} words overflows "
+                f"({self._fill}/{self.size} occupied)"
+            )
+        for offset, entry in enumerate(entries):
+            if not isinstance(entry, CamEntry):
+                raise ConfigError(
+                    f"{self.name}: update words must be CamEntry, got "
+                    f"{type(entry).__name__}"
+                )
+            cell = self.cells[self._fill + offset]
+            cell.write_enable = True
+            cell.write_entry = entry
+        return self._fill + len(entries)
+
+    def _broadcast(self, key: int) -> None:
+        """Search logic: broadcast one key to every cell."""
+        for cell in self.cells:
+            cell.search_key = key
+
+    # ------------------------------------------------------------------
+    # testbench conveniences (drive ports, not state)
+    # ------------------------------------------------------------------
+    def issue_update(self, entries: Sequence[CamEntry]) -> None:
+        """Present an update beat for the next cycle."""
+        self.in_update_valid = True
+        self.in_update = tuple(entries)
+
+    def issue_search(self, key: int) -> None:
+        """Present a search key for the next cycle."""
+        self.in_search_valid = True
+        self.in_key = key
+
+    def issue_delete(self, key: int) -> None:
+        """Present a delete-by-content key for the next cycle."""
+        self.in_search_valid = True
+        self.in_delete = True
+        self.in_key = key
+
+    def issue_reset(self) -> None:
+        """Present a reset for the next cycle."""
+        self.in_reset = True
+
+    # ------------------------------------------------------------------
+    def stored_entries(self) -> List[CamEntry]:
+        """Golden-model view of the block contents, in fill order."""
+        entries = []
+        for cell in self.cells[: self._fill]:
+            entry = cell.stored_entry
+            if entry is not None:
+                entries.append(entry)
+        return entries
+
+    def resources(self) -> ResourceVector:
+        """Estimated resource cost (cells + calibrated control logic)."""
+        return block_resources(
+            self.size, self.config.bus_width, buffered=self.buffered
+        )

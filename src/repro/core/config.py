@@ -1,0 +1,240 @@
+"""Parameterisation of the CAM architecture (paper Table III).
+
+Three nested configuration levels mirror the hardware hierarchy:
+
+- :class:`CellConfig` -- CAM type and storage data width (cell level),
+- :class:`BlockConfig` -- block size, block bus width, result encoding
+  and the optional encoder output buffer (block level),
+- :class:`UnitConfig` -- number of blocks, unit bus width, update
+  replication mode and the default group count (unit level).
+
+All parameters are validated eagerly so an impossible configuration
+fails at construction, not mid-simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.dsp.primitives import DSP_WIDTH, is_power_of_two
+from repro.errors import ConfigError
+from repro.core.types import CamType, Encoding
+
+#: Block size at or above which the encoder output buffer is inserted
+#: for timing (paper: "when the size of the block reaches 256, we added
+#: an additional buffer at the Encoder output").
+BUFFER_BLOCK_THRESHOLD = 256
+#: Unit size at or above which the buffer is inserted even for smaller
+#: blocks (Table VIII: search latency steps from 7 to 8 at 2K entries).
+BUFFER_UNIT_THRESHOLD = 2048
+
+
+@dataclass(frozen=True)
+class CellConfig:
+    """Cell-level parameters: CAM type and storage data width."""
+
+    cam_type: CamType = CamType.BINARY
+    data_width: int = 32
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cam_type, CamType):
+            raise ConfigError(f"cam_type must be a CamType, got {self.cam_type!r}")
+        if not 1 <= self.data_width <= DSP_WIDTH:
+            raise ConfigError(
+                f"storage data width must be in 1..{DSP_WIDTH} bits "
+                f"(one DSP48E2 A:B register pair), got {self.data_width}"
+            )
+
+
+@dataclass(frozen=True)
+class BlockConfig:
+    """Block-level parameters: size, bus width, encoding, buffering."""
+
+    cell: CellConfig = field(default_factory=CellConfig)
+    block_size: int = 128
+    bus_width: int = 512
+    encoding: Encoding = Encoding.PRIORITY
+    #: None selects the automatic policy (see :meth:`buffered_in_unit`).
+    output_buffer: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.block_size):
+            raise ConfigError(
+                f"block size must be a power of two, got {self.block_size}"
+            )
+        if self.block_size < 2:
+            raise ConfigError(f"block size must be >= 2, got {self.block_size}")
+        if self.bus_width < self.cell.data_width:
+            raise ConfigError(
+                f"block bus width ({self.bus_width}) must be at least the "
+                f"data width ({self.cell.data_width})"
+            )
+        if not isinstance(self.encoding, Encoding):
+            raise ConfigError(f"encoding must be an Encoding, got {self.encoding!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def data_width(self) -> int:
+        return self.cell.data_width
+
+    @property
+    def words_per_beat(self) -> int:
+        """Stored words carried by one input-bus beat during updates."""
+        return max(1, self.bus_width // self.cell.data_width)
+
+    @property
+    def buffered(self) -> bool:
+        """Whether the encoder output buffer is present (standalone)."""
+        if self.output_buffer is not None:
+            return self.output_buffer
+        return self.block_size >= BUFFER_BLOCK_THRESHOLD
+
+    def buffered_in_unit(self, total_entries: int) -> bool:
+        """Buffer policy when instantiated inside a unit of given size."""
+        if self.output_buffer is not None:
+            return self.output_buffer
+        return (
+            self.block_size >= BUFFER_BLOCK_THRESHOLD
+            or total_entries >= BUFFER_UNIT_THRESHOLD
+        )
+
+    @property
+    def update_latency(self) -> int:
+        """Cycles for a standalone block update (always 1, Table VI)."""
+        return 1
+
+    @property
+    def search_latency(self) -> int:
+        """Cycles for a standalone block search (3, or 4 buffered)."""
+        return 3 + (1 if self.buffered else 0)
+
+    def with_buffer(self, buffered: bool) -> "BlockConfig":
+        return replace(self, output_buffer=buffered)
+
+
+#: Pipeline stages ahead of the blocks on the unit's search path:
+#: input interface, routing compute, key replication, post-router.
+UNIT_SEARCH_OVERHEAD = 4
+#: Pipeline stages ahead of the blocks on the unit's update path: the
+#: search-path stages plus the per-group block address controller.
+UNIT_UPDATE_OVERHEAD = 5
+
+
+@dataclass(frozen=True)
+class UnitConfig:
+    """Unit-level parameters: block count, bus width, grouping policy."""
+
+    block: BlockConfig = field(default_factory=BlockConfig)
+    num_blocks: int = 16
+    bus_width: Optional[int] = None
+    #: Initial number of CAM groups (runtime reconfigurable).
+    default_groups: int = 1
+    #: True (paper default): updates replicate into every group so each
+    #: group holds the full content and serves an independent query.
+    #: False: groups are independent CAMs addressed by group id.
+    replicate_updates: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ConfigError(f"num_blocks must be >= 1, got {self.num_blocks}")
+        if self.default_groups < 1:
+            raise ConfigError(
+                f"default_groups must be >= 1, got {self.default_groups}"
+            )
+        if self.num_blocks % self.default_groups:
+            raise ConfigError(
+                f"group count ({self.default_groups}) must divide the number "
+                f"of blocks ({self.num_blocks})"
+            )
+        if self.unit_bus_width < self.block.bus_width:
+            raise ConfigError(
+                f"unit bus width ({self.unit_bus_width}) must be at least "
+                f"the block bus width ({self.block.bus_width})"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def unit_bus_width(self) -> int:
+        return self.bus_width if self.bus_width is not None else self.block.bus_width
+
+    @property
+    def total_entries(self) -> int:
+        """Total CAM capacity in stored words (also the DSP count)."""
+        return self.num_blocks * self.block.block_size
+
+    @property
+    def data_width(self) -> int:
+        return self.block.cell.data_width
+
+    @property
+    def words_per_beat(self) -> int:
+        """Stored words per update beat on the unit bus."""
+        return max(1, self.unit_bus_width // self.data_width)
+
+    @property
+    def block_buffered(self) -> bool:
+        """Resolved encoder-buffer policy for blocks inside this unit."""
+        return self.block.buffered_in_unit(self.total_entries)
+
+    @property
+    def block_search_latency(self) -> int:
+        return 3 + (1 if self.block_buffered else 0)
+
+    @property
+    def search_latency(self) -> int:
+        """End-to-end unit search latency in cycles (Table VIII: 7-8)."""
+        return UNIT_SEARCH_OVERHEAD + self.block_search_latency
+
+    @property
+    def update_latency(self) -> int:
+        """End-to-end unit update latency in cycles (Table VIII: 6)."""
+        return UNIT_UPDATE_OVERHEAD + self.block.update_latency
+
+    def group_sizes(self, num_groups: int) -> int:
+        """Blocks per group for a runtime group count; validates it."""
+        if num_groups < 1 or self.num_blocks % num_groups:
+            raise ConfigError(
+                f"group count {num_groups} must be a positive divisor of "
+                f"{self.num_blocks} blocks"
+            )
+        return self.num_blocks // num_groups
+
+    def group_capacity(self, num_groups: int) -> int:
+        """Entries available to each logical CAM group."""
+        return self.group_sizes(num_groups) * self.block.block_size
+
+    def with_groups(self, num_groups: int) -> "UnitConfig":
+        self.group_sizes(num_groups)
+        return replace(self, default_groups=num_groups)
+
+
+def unit_for_entries(
+    total_entries: int,
+    block_size: int = 256,
+    data_width: int = 48,
+    bus_width: int = 512,
+    cam_type: CamType = CamType.BINARY,
+    encoding: Encoding = Encoding.PRIORITY,
+    default_groups: int = 1,
+) -> UnitConfig:
+    """Convenience constructor used by the benches and examples.
+
+    Builds a unit with ``total_entries`` capacity out of ``block_size``
+    blocks (``total_entries`` must divide evenly).
+    """
+    if total_entries % block_size:
+        raise ConfigError(
+            f"total entries ({total_entries}) must be a multiple of the "
+            f"block size ({block_size})"
+        )
+    cell = CellConfig(cam_type=cam_type, data_width=data_width)
+    block = BlockConfig(
+        cell=cell, block_size=block_size, bus_width=bus_width, encoding=encoding
+    )
+    return UnitConfig(
+        block=block,
+        num_blocks=total_entries // block_size,
+        bus_width=bus_width,
+        default_groups=default_groups,
+    )

@@ -1,0 +1,102 @@
+"""CAM group abstraction and round-robin block filling (section III-C).
+
+A *group* is the logical CAM a query executes against: a slice of the
+unit's blocks holding (in the default replicated mode) a full copy of
+the stored content. The :class:`BlockAddressController` implements the
+paper's round-robin fill policy: updates land in the group's current
+block until it is full, then advance to the next block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import CapacityError, RoutingError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Where one update beat lands inside a group.
+
+    ``segments`` lists (block_slot, word_count) pairs in write order,
+    where ``block_slot`` indexes the group's block list (not a global
+    block ID). A beat larger than the current block's free space is
+    split across consecutive blocks in the same cycle, which the
+    block-level DeMUX supports because every word carries its own cell
+    enable.
+    """
+
+    segments: Tuple[Tuple[int, int], ...]
+    new_cursor: int
+
+
+class BlockAddressController:
+    """Round-robin allocator over the blocks of one CAM group."""
+
+    def __init__(self, blocks_per_group: int, block_size: int) -> None:
+        if blocks_per_group < 1:
+            raise RoutingError(
+                f"blocks_per_group must be >= 1, got {blocks_per_group}"
+            )
+        if block_size < 1:
+            raise RoutingError(f"block_size must be >= 1, got {block_size}")
+        self.blocks_per_group = blocks_per_group
+        self.block_size = block_size
+        self.cursor = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total entries addressable by this controller."""
+        return self.blocks_per_group * self.block_size
+
+    def reset(self) -> None:
+        self.cursor = 0
+
+    def plan(self, words: int, free_per_block: Sequence[int]) -> Allocation:
+        """Plan where ``words`` new entries go, without mutating state.
+
+        ``free_per_block`` gives the free-cell count of each block in
+        group order. Raises :class:`CapacityError` when the group lacks
+        space.
+        """
+        if words < 1:
+            raise RoutingError(f"cannot allocate {words} words")
+        if len(free_per_block) != self.blocks_per_group:
+            raise RoutingError(
+                f"expected {self.blocks_per_group} free counts, got "
+                f"{len(free_per_block)}"
+            )
+        if words > sum(free_per_block):
+            raise CapacityError(
+                f"group is full: cannot place {words} words "
+                f"(free: {list(free_per_block)})"
+            )
+        segments: List[Tuple[int, int]] = []
+        free = list(free_per_block)
+        cursor = self.cursor
+        remaining = words
+        visited = 0
+        while remaining > 0:
+            if visited > self.blocks_per_group:  # pragma: no cover - guard
+                raise CapacityError(
+                    f"group fill wedged placing {words} words "
+                    f"(free: {list(free_per_block)})"
+                )
+            available = free[cursor]
+            if available <= 0:
+                cursor = (cursor + 1) % self.blocks_per_group
+                visited += 1
+                continue
+            take = min(available, remaining)
+            segments.append((cursor, take))
+            free[cursor] -= take
+            remaining -= take
+            if take == available:
+                cursor = (cursor + 1) % self.blocks_per_group
+                visited += 1
+        return Allocation(segments=tuple(segments), new_cursor=cursor)
+
+    def commit(self, allocation: Allocation) -> None:
+        """Advance the cursor after the planned beat has been issued."""
+        self.cursor = allocation.new_cursor

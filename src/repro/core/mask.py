@@ -1,0 +1,142 @@
+"""MASK semantics for the three CAM types (paper Table II).
+
+A CAM entry is a ``(value, mask)`` pair where mask bit 1 means *ignore
+this bit during comparison* -- the DSP48E2 pattern-detector convention.
+Bits above the configured data width are always masked out ("the mask is
+also used for the data bit width control").
+
+- **BCAM**: all data bits compared; mask covers only the unused width.
+- **TCAM**: "don't care" positions are additionally masked.
+- **RMCAM**: an aligned power-of-two range ``[base, base + 2^k)`` is
+  encoded by masking the low ``k`` bits; the paper notes the DSP mask
+  can only express ranges whose extent and alignment are powers of two,
+  and :func:`range_entry` enforces exactly that restriction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsp.primitives import DSP_WIDTH, check_fits, is_power_of_two, mask_for
+from repro.errors import MaskError
+
+
+def width_mask(data_width: int) -> int:
+    """Mask (ignore) every bit at or above ``data_width``."""
+    if not 1 <= data_width <= DSP_WIDTH:
+        raise MaskError(f"data width must be in 1..{DSP_WIDTH}, got {data_width}")
+    return mask_for(DSP_WIDTH) ^ mask_for(data_width)
+
+
+@dataclass(frozen=True)
+class CamEntry:
+    """One stored CAM word: a value plus its ignore-mask.
+
+    ``mask`` always includes the unused-width bits; use the
+    constructors (:func:`binary_entry`, :func:`ternary_entry`,
+    :func:`range_entry`) rather than building instances by hand.
+    """
+
+    value: int
+    mask: int
+    width: int
+
+    def matches(self, key: int) -> bool:
+        """Golden-model comparison: masked equality against ``key``."""
+        full = mask_for(DSP_WIDTH)
+        return ((self.value ^ key) & ~self.mask & full) == 0
+
+    @property
+    def care_bits(self) -> int:
+        """Bit positions actually compared (within the data width)."""
+        return ~self.mask & mask_for(self.width)
+
+
+def binary_entry(value: int, data_width: int) -> CamEntry:
+    """Exact-match (BCAM) entry: every data bit is compared."""
+    check_fits(value, data_width, "BCAM value")
+    return CamEntry(value=value, mask=width_mask(data_width), width=data_width)
+
+
+def ternary_entry(value: int, dont_care: int, data_width: int) -> CamEntry:
+    """TCAM entry: bits set in ``dont_care`` match anything."""
+    check_fits(value, data_width, "TCAM value")
+    check_fits(dont_care, data_width, "TCAM don't-care mask")
+    return CamEntry(
+        value=value,
+        mask=width_mask(data_width) | dont_care,
+        width=data_width,
+    )
+
+
+def ternary_entry_from_pattern(pattern: str, data_width: int) -> CamEntry:
+    """TCAM entry from a string like ``"10XX1"`` (MSB first).
+
+    Characters: ``0``/``1`` are compared bits, ``x``/``X`` are don't
+    cares, ``_`` is an ignored separator.
+    """
+    cleaned = pattern.replace("_", "")
+    if not cleaned:
+        raise MaskError("empty TCAM pattern")
+    if len(cleaned) > data_width:
+        raise MaskError(
+            f"pattern {pattern!r} is wider ({len(cleaned)}) than the data "
+            f"width ({data_width})"
+        )
+    value = 0
+    dont_care = 0
+    for char in cleaned:
+        value <<= 1
+        dont_care <<= 1
+        if char == "1":
+            value |= 1
+        elif char in ("x", "X"):
+            dont_care |= 1
+        elif char != "0":
+            raise MaskError(f"invalid TCAM pattern character {char!r}")
+    return ternary_entry(value, dont_care, data_width)
+
+
+def range_entry(start: int, end: int, data_width: int) -> CamEntry:
+    """RMCAM entry matching keys in the inclusive range [start, end].
+
+    The hardware restriction (paper section III-A): the range extent
+    must be a power of two and the start must be aligned to it, because
+    the match is expressed purely by masking low bits.
+    """
+    check_fits(start, data_width, "range start")
+    check_fits(end, data_width, "range end")
+    if end < start:
+        raise MaskError(f"range end ({end}) below start ({start})")
+    extent = end - start + 1
+    if not is_power_of_two(extent):
+        raise MaskError(
+            f"range [{start}, {end}] has extent {extent}, which is not a "
+            "power of two; the DSP MASK cannot express it"
+        )
+    if start % extent:
+        raise MaskError(
+            f"range start {start} is not aligned to the range extent {extent}"
+        )
+    low_bits = extent.bit_length() - 1
+    return CamEntry(
+        value=start,
+        mask=width_mask(data_width) | mask_for(low_bits),
+        width=data_width,
+    )
+
+
+def entry_for(cam_type, data_width: int, *args) -> CamEntry:
+    """Dispatch an entry constructor by :class:`repro.core.CamType`."""
+    from repro.core.types import CamType
+
+    if cam_type is CamType.BINARY:
+        (value,) = args
+        return binary_entry(value, data_width)
+    if cam_type is CamType.TERNARY:
+        value, dont_care = args
+        return ternary_entry(value, dont_care, data_width)
+    if cam_type is CamType.RANGE:
+        start, end = args
+        return range_entry(start, end, data_width)
+    raise MaskError(f"unknown CAM type {cam_type!r}")

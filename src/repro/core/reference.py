@@ -1,0 +1,83 @@
+"""Golden (non-cycle) reference model of the CAM semantics.
+
+Used by the property-based tests: any sequence of updates and searches
+applied both to :class:`repro.core.CamSession` and to
+:class:`ReferenceCam` must produce identical hit/address answers. The
+reference is deliberately the most boring possible implementation -- a
+list scanned in insertion order -- because the hardware's content
+address equals insertion order (sequential fill within a block,
+round-robin across the blocks of a group).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.mask import CamEntry
+from repro.core.types import Encoding, SearchResult
+from repro.errors import CapacityError
+
+
+class ReferenceCam:
+    """List-backed CAM with the paper's priority-match semantics.
+
+    Deleted entries become ``None`` holes: addresses of surviving
+    entries never shift and holes are only reclaimed by :meth:`reset`,
+    mirroring the hardware's invalidate-by-content behaviour.
+    """
+
+    def __init__(self, capacity: int, encoding: Encoding = Encoding.PRIORITY) -> None:
+        if capacity < 1:
+            raise CapacityError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.encoding = encoding
+        self._entries: List[Optional[CamEntry]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def entries(self) -> List[CamEntry]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def update(self, words: Sequence[CamEntry]) -> None:
+        """Append entries in order (the hardware fill order)."""
+        words = list(words)
+        if len(self._entries) + len(words) > self.capacity:
+            raise CapacityError(
+                f"reference CAM overflow: {len(self._entries)} + "
+                f"{len(words)} > {self.capacity}"
+            )
+        self._entries.extend(words)
+
+    def reset(self) -> None:
+        self._entries.clear()
+
+    def search(self, key: int) -> SearchResult:
+        """Match ``key`` against every live entry; build the full result."""
+        vector = 0
+        for address, entry in enumerate(self._entries):
+            if entry is not None and entry.matches(key):
+                vector |= 1 << address
+        return SearchResult.from_vector(key, vector, self.encoding)
+
+    def delete(self, key: int) -> SearchResult:
+        """Invalidate every entry matching ``key``; return what matched."""
+        result = self.search(key)
+        for address, entry in enumerate(self._entries):
+            if entry is not None and entry.matches(key):
+                self._entries[address] = None
+        return result
+
+    def search_many(self, keys: Sequence[int]) -> List[SearchResult]:
+        return [self.search(key) for key in keys]
+
+    def first_match(self, key: int) -> Optional[int]:
+        """Address of the first matching entry, or None."""
+        return self.search(key).address

@@ -1,0 +1,215 @@
+"""Transaction-level driver for a CAM unit.
+
+:class:`CamSession` owns a :class:`repro.sim.Simulator` and a
+:class:`repro.core.CamUnit` and exposes blocking update/search calls
+that hide the cycle-level port driving. It is the integration surface
+an accelerator kernel would use (the paper's "easy integration"
+argument) and what the examples and most tests drive.
+
+The session keeps issuing one beat per cycle, so a batch of keys is
+searched at the full pipelined rate; the cycle counter is exposed so
+callers can derive latency and throughput from real simulated cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.core.config import UnitConfig
+from repro.core.mask import CamEntry, binary_entry
+from repro.core.types import CamType, SearchResult
+from repro.core.unit import CamUnit
+from repro.errors import ConfigError, SimulationError
+from repro.sim import Simulator, Trace
+
+RawWord = Union[int, CamEntry]
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """Cycle accounting for one :meth:`CamSession.update` call."""
+
+    words: int
+    beats: int
+    cycles: int
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Cycle accounting for one :meth:`CamSession.search` call."""
+
+    keys: int
+    beats: int
+    cycles: int
+
+
+class CamSession:
+    """Blocking transaction API over a cycle-accurate CAM unit."""
+
+    def __init__(
+        self, config: UnitConfig, trace: bool = False, name: str = "cam_unit"
+    ) -> None:
+        self.config = config
+        self.unit = CamUnit(config, name=name)
+        self._trace = Trace() if trace else None
+        self.sim = Simulator(self.unit, trace=self._trace)
+        self.last_update_stats: Optional[UpdateStats] = None
+        self.last_search_stats: Optional[SearchStats] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def cycle(self) -> int:
+        """Total simulated cycles since construction/reset."""
+        return self.sim.cycle
+
+    @property
+    def trace(self) -> Optional[Trace]:
+        return self._trace
+
+    @property
+    def capacity(self) -> int:
+        """Entries available per logical group."""
+        return self.unit.group_capacity
+
+    @property
+    def occupancy(self) -> int:
+        return self.unit.stored_words(0)
+
+    # ------------------------------------------------------------------
+    def _coerce(self, word: RawWord) -> CamEntry:
+        if isinstance(word, CamEntry):
+            return word
+        if isinstance(word, int):
+            if self.config.block.cell.cam_type is not CamType.BINARY:
+                raise ConfigError(
+                    "raw integers are only accepted for binary CAMs; build "
+                    "CamEntry values for ternary/range configurations"
+                )
+            return binary_entry(word, self.config.data_width)
+        raise ConfigError(
+            f"update words must be int or CamEntry, got {type(word).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    def update(
+        self, words: Sequence[RawWord], group: Optional[int] = None
+    ) -> UpdateStats:
+        """Store ``words``, splitting them into full-bus beats.
+
+        Blocks until the final beat has landed (its ``update_done``
+        pulse), so content is searchable when this returns.
+        """
+        entries = [self._coerce(word) for word in words]
+        if not entries:
+            raise ConfigError("update needs at least one word")
+        start = self.cycle
+        per_beat = self.unit.words_per_beat
+        beats = 0
+        landed = 0
+        for offset in range(0, len(entries), per_beat):
+            self.unit.issue_update(entries[offset:offset + per_beat], group=group)
+            self.sim.step()
+            beats += 1
+            if self.unit.update_done:
+                landed += 1
+        # Drain every beat through the 6-cycle update pipeline.
+        budget = self.unit.update_latency + 4
+        for _ in range(budget):
+            if landed >= beats:
+                break
+            self.sim.step()
+            if self.unit.update_done:
+                landed += 1
+        if landed < beats:
+            raise SimulationError(
+                f"update pipeline failed to drain ({beats - landed} beats "
+                "pending)"
+            )
+        stats = UpdateStats(
+            words=len(entries), beats=beats, cycles=self.cycle - start
+        )
+        self.last_update_stats = stats
+        return stats
+
+    def search(
+        self,
+        keys: Sequence[int],
+        groups: Optional[Sequence[int]] = None,
+    ) -> List[SearchResult]:
+        """Search ``keys`` at the pipelined rate; returns results in order.
+
+        Keys are packed ``M`` per beat (the multi-query width); explicit
+        ``groups`` only make sense in independent mode and then apply to
+        every beat.
+        """
+        keys = list(keys)
+        if not keys:
+            raise ConfigError("search needs at least one key")
+        start = self.cycle
+        per_beat = self.unit.num_groups if groups is None else len(groups)
+        pending = 0
+        results: List[SearchResult] = []
+        offset = 0
+        budget = len(keys) + self.unit.search_latency + 16
+        for _ in range(budget):
+            if offset < len(keys):
+                chunk = keys[offset:offset + per_beat]
+                chunk_groups = None if groups is None else groups[: len(chunk)]
+                self.unit.issue_search(chunk, groups=chunk_groups)
+                offset += len(chunk)
+                pending += 1
+            elif pending == 0:
+                break
+            self.sim.step()
+            out = self.unit.search_output
+            if out is not None:
+                results.extend(out)
+                pending -= 1
+        if pending:
+            raise SimulationError(
+                f"search pipeline failed to drain ({pending} beats pending)"
+            )
+        stats = SearchStats(
+            keys=len(keys),
+            beats=(len(keys) + per_beat - 1) // per_beat,
+            cycles=self.cycle - start,
+        )
+        self.last_search_stats = stats
+        return results
+
+    def search_one(self, key: int, group: Optional[int] = None) -> SearchResult:
+        """Search a single key (optionally in a specific group)."""
+        groups = None if group is None else [group]
+        return self.search([key], groups=groups)[0]
+
+    def contains(self, key: int) -> bool:
+        """Convenience membership test."""
+        return self.search_one(key).hit
+
+    def delete(self, key: int) -> SearchResult:
+        """Delete-by-content (extension): invalidate entries matching
+        ``key`` in every replica; returns what was invalidated."""
+        self.unit.issue_delete(key)
+        cycles = self.unit.search_latency + 4
+        for _ in range(cycles):
+            self.sim.step()
+            out = self.unit.search_output
+            if out is not None:
+                return out[0]
+        raise SimulationError("delete beat produced no result")
+
+    # ------------------------------------------------------------------
+    def set_groups(self, num_groups: int) -> None:
+        """Reconfigure the runtime group count (flushes content)."""
+        self.unit.issue_regroup(num_groups)
+        self.sim.step(self.unit.update_latency + 2)
+
+    def reset(self) -> None:
+        """Clear all stored content."""
+        self.unit.issue_reset()
+        self.sim.step(self.unit.update_latency + 2)
+
+    def idle(self, cycles: int = 1) -> None:
+        """Let the clock run without issuing operations."""
+        self.sim.step(cycles)

@@ -1,0 +1,116 @@
+"""Occupancy and balance introspection for CAM units.
+
+A CAM embedded in an accelerator is managed blind -- the kernel only
+sees update acknowledgements and search results. This module provides
+the observability layer a system integrator needs: per-block fill,
+per-group balance, invalidation holes from delete-by-content, and a
+utilisation summary, all read from the golden-state side of the models
+(no simulation cycles consumed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.unit import CamUnit
+
+
+@dataclass(frozen=True)
+class BlockStats:
+    """One block's occupancy picture."""
+
+    block_id: int
+    group: int
+    size: int
+    fill: int
+    live: int
+
+    @property
+    def holes(self) -> int:
+        """Cells consumed but invalidated by delete-by-content."""
+        return self.fill - self.live
+
+    @property
+    def utilisation(self) -> float:
+        return self.fill / self.size if self.size else 0.0
+
+
+@dataclass(frozen=True)
+class UnitStats:
+    """Whole-unit occupancy summary."""
+
+    total_cells: int
+    num_groups: int
+    blocks: List[BlockStats]
+
+    @property
+    def consumed_cells(self) -> int:
+        return sum(block.fill for block in self.blocks)
+
+    @property
+    def live_cells(self) -> int:
+        return sum(block.live for block in self.blocks)
+
+    @property
+    def holes(self) -> int:
+        return self.consumed_cells - self.live_cells
+
+    @property
+    def utilisation(self) -> float:
+        return self.consumed_cells / self.total_cells if self.total_cells else 0.0
+
+    def group_fill(self) -> Dict[int, int]:
+        """Consumed cells per group."""
+        out: Dict[int, int] = {}
+        for block in self.blocks:
+            out[block.group] = out.get(block.group, 0) + block.fill
+        return out
+
+    @property
+    def balanced(self) -> bool:
+        """True when every group holds the same amount of content.
+
+        In replicated mode this is an invariant (updates mirror into
+        every group); a False here indicates a desynchronised unit.
+        """
+        fills = set(self.group_fill().values())
+        return len(fills) <= 1
+
+    def render(self) -> str:
+        """Human-readable occupancy report."""
+        lines = [
+            f"CAM unit: {self.consumed_cells}/{self.total_cells} cells "
+            f"consumed ({self.utilisation:.1%}), {self.live_cells} live, "
+            f"{self.holes} holes, {self.num_groups} groups "
+            f"({'balanced' if self.balanced else 'UNBALANCED'})"
+        ]
+        for block in self.blocks:
+            bar_width = 24
+            filled = int(round(block.utilisation * bar_width))
+            bar = "#" * filled + "." * (bar_width - filled)
+            lines.append(
+                f"  block {block.block_id:3d} (group {block.group}): "
+                f"[{bar}] {block.fill:4d}/{block.size}"
+                + (f"  ({block.holes} holes)" if block.holes else "")
+            )
+        return "\n".join(lines)
+
+
+def collect_stats(unit: CamUnit) -> UnitStats:
+    """Snapshot a unit's occupancy (golden state; zero cycles)."""
+    blocks = [
+        BlockStats(
+            block_id=block.block_id,
+            group=unit.table.group_of(block.block_id),
+            size=block.size,
+            fill=block.occupancy,
+            live=block.live_entries,
+        )
+        for block in unit.blocks
+    ]
+    return UnitStats(
+        total_cells=unit.total_entries,
+        num_groups=unit.num_groups,
+        blocks=blocks,
+    )

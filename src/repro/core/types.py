@@ -1,0 +1,120 @@
+"""Shared types of the CAM core: CAM kinds, operations, results."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dsp.primitives import popcount
+
+
+class CamType(enum.Enum):
+    """The three CAM flavours the architecture can be configured as.
+
+    All three use the same DSP cell datapath; only the MASK differs
+    (paper Table II), which is why Table V reports identical cost and
+    latency for each.
+    """
+
+    BINARY = "binary"
+    TERNARY = "ternary"
+    RANGE = "range"
+
+
+class OpKind(enum.Enum):
+    """Operations accepted on the CAM block/unit input bus."""
+
+    UPDATE = "update"
+    SEARCH = "search"
+    RESET = "reset"
+    CONFIGURE = "configure"
+
+
+class Encoding(enum.Enum):
+    """Result-encoding schemes of the block output encoder (Table III)."""
+
+    #: Lowest matching cell address plus a hit flag (default).
+    PRIORITY = "priority"
+    #: Raw per-cell match bit vector.
+    ONE_HOT = "one_hot"
+    #: Binary address with a multi-match flag.
+    BINARY = "binary"
+    #: Number of matching cells (set-intersection friendly).
+    COUNT = "count"
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one search operation.
+
+    All derived views (first address, count, vector) are carried so
+    that any encoder scheme can serialise the result onto the output
+    bus via :meth:`encoded`.
+    """
+
+    key: int
+    hit: bool
+    address: Optional[int]
+    match_vector: int
+    match_count: int
+    encoding: Encoding = Encoding.PRIORITY
+
+    @classmethod
+    def from_vector(
+        cls, key: int, match_vector: int, encoding: Encoding = Encoding.PRIORITY
+    ) -> "SearchResult":
+        """Build a result from the raw per-cell match vector."""
+        hit = match_vector != 0
+        address = None
+        if hit:
+            address = (match_vector & -match_vector).bit_length() - 1
+        return cls(
+            key=key,
+            hit=hit,
+            address=address,
+            match_vector=match_vector,
+            match_count=popcount(match_vector),
+            encoding=encoding,
+        )
+
+    def offset(self, base: int) -> "SearchResult":
+        """Rebase cell-local addresses to unit-global addresses."""
+        return SearchResult(
+            key=self.key,
+            hit=self.hit,
+            address=None if self.address is None else self.address + base,
+            match_vector=self.match_vector << base,
+            match_count=self.match_count,
+            encoding=self.encoding,
+        )
+
+    def encoded(self, size: int) -> int:
+        """Serialise onto the output bus per the configured encoding."""
+        if self.encoding is Encoding.ONE_HOT:
+            return self.match_vector
+        if self.encoding is Encoding.COUNT:
+            return self.match_count
+        address_bits = max(1, (max(size - 1, 1)).bit_length())
+        hit_bit = 1 << address_bits
+        if not self.hit:
+            return 0
+        if self.encoding is Encoding.PRIORITY:
+            return hit_bit | (self.address or 0)
+        # Encoding.BINARY: hit | multi-match flag | address.
+        multi = 1 << (address_bits + 1) if self.match_count > 1 else 0
+        return multi | hit_bit | (self.address or 0)
+
+
+@dataclass(frozen=True)
+class UpdateReceipt:
+    """Outcome of one update beat: where each word was stored."""
+
+    #: (block_id, cell_id) per stored word, in word order.
+    locations: Tuple[Tuple[int, int], ...] = field(default_factory=tuple)
+    #: Number of words written by the beat.
+    words_written: int = 0
+
+    @classmethod
+    def for_words(cls, locations: List[Tuple[int, int]]) -> "UpdateReceipt":
+        return cls(locations=tuple(locations), words_written=len(locations))

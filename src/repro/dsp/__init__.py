@@ -1,0 +1,67 @@
+"""Functional model of the Xilinx DSP48E2 slice (UG579).
+
+The CAM architecture of the paper repurposes DSP slices as
+storage-plus-compare cells; this package provides the slice model that
+:mod:`repro.core` builds on, plus the OPMODE/ALUMODE encodings and
+bit-vector primitives.
+"""
+
+from repro.dsp.attributes import Dsp48Attributes, cam_cell_attributes
+from repro.dsp.dsp48e2 import DSP48E2, MULT_A_WIDTH
+from repro.dsp.opmode import (
+    ALL_ONES,
+    CAM_ALUMODE,
+    CAM_OPMODE,
+    AluMode,
+    WMux,
+    XMux,
+    YMux,
+    ZMux,
+    pack_opmode,
+    unpack_opmode,
+)
+from repro.dsp.primitives import (
+    A_WIDTH,
+    B_WIDTH,
+    DSP_WIDTH,
+    clog2,
+    concat_ab,
+    is_power_of_two,
+    mask_for,
+    masked_equal,
+    pack_words,
+    popcount,
+    split_ab,
+    truncate,
+    unpack_words,
+)
+
+__all__ = [
+    "ALL_ONES",
+    "A_WIDTH",
+    "AluMode",
+    "B_WIDTH",
+    "CAM_ALUMODE",
+    "CAM_OPMODE",
+    "DSP48E2",
+    "DSP_WIDTH",
+    "Dsp48Attributes",
+    "MULT_A_WIDTH",
+    "WMux",
+    "XMux",
+    "YMux",
+    "ZMux",
+    "cam_cell_attributes",
+    "clog2",
+    "concat_ab",
+    "is_power_of_two",
+    "mask_for",
+    "masked_equal",
+    "pack_opmode",
+    "pack_words",
+    "popcount",
+    "split_ab",
+    "truncate",
+    "unpack_opmode",
+    "unpack_words",
+]

@@ -1,0 +1,134 @@
+"""Static configuration attributes of a DSP48E2 instance.
+
+These mirror the synthesis-time attributes of the silicon primitive
+(UG579): input/pipeline register depths, multiplier usage, and the
+pattern detector setup. The CAM cell uses :func:`cam_cell_attributes`,
+which selects single input registers, a registered output, and the
+pattern detector with a caller-supplied MASK.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.dsp.primitives import DSP_WIDTH, check_fits
+
+
+@dataclass(frozen=True)
+class Dsp48Attributes:
+    """Synthesis-time attributes of one DSP48E2 slice.
+
+    Attributes
+    ----------
+    areg, breg:
+        Depth of the A/B input register chains (0, 1 or 2).
+    creg, mreg, preg:
+        C input, multiplier and output register depths (0 or 1).
+    use_mult:
+        Whether the 27x18 multiplier path is active. The CAM never uses
+        it; it exists so the slice model is complete and testable in
+        its native arithmetic role.
+    use_pattern_detect:
+        Enables the pattern detector (PATTERNDETECT output).
+    pattern:
+        48-bit pattern compared against the ALU output.
+    mask:
+        48-bit mask; bits set to 1 are *excluded* from the comparison
+        (the silicon convention, and the convention of Table II in the
+        paper).
+    rnd:
+        Rounding constant feeding the W multiplexer's RND input.
+    """
+
+    areg: int = 1
+    breg: int = 1
+    creg: int = 1
+    mreg: int = 1
+    preg: int = 1
+    dreg: int = 1
+    adreg: int = 1
+    use_mult: bool = False
+    #: Route the D + A pre-adder into the multiplier (AMULTSEL = "AD").
+    use_preadder: bool = False
+    #: ALU SIMD partitioning: "ONE48", "TWO24" or "FOUR12" (UG579).
+    #: Arithmetic carries do not cross lane boundaries; logic modes and
+    #: the pattern detector always see the full 48-bit word.
+    simd: str = "ONE48"
+    use_pattern_detect: bool = True
+    pattern: int = 0
+    mask: int = 0
+    rnd: int = 0
+
+    def __post_init__(self) -> None:
+        for name, depth, limit in (
+            ("AREG", self.areg, 2),
+            ("BREG", self.breg, 2),
+            ("CREG", self.creg, 1),
+            ("MREG", self.mreg, 1),
+            ("PREG", self.preg, 1),
+            ("DREG", self.dreg, 1),
+            ("ADREG", self.adreg, 1),
+        ):
+            if not 0 <= depth <= limit:
+                raise ConfigError(
+                    f"{name} must be in 0..{limit}, got {depth}"
+                )
+        if self.simd not in ("ONE48", "TWO24", "FOUR12"):
+            raise ConfigError(
+                f'USE_SIMD must be "ONE48", "TWO24" or "FOUR12", '
+                f"got {self.simd!r}"
+            )
+        if self.use_preadder and not self.use_mult:
+            raise ConfigError(
+                "the pre-adder feeds the multiplier; USE_MULT is required"
+            )
+        if self.use_mult and self.simd != "ONE48":
+            raise ConfigError("SIMD mode requires the multiplier to be off")
+        check_fits(self.pattern, DSP_WIDTH, "PATTERN")
+        check_fits(self.mask, DSP_WIDTH, "MASK")
+        check_fits(self.rnd, DSP_WIDTH, "RND")
+
+    def with_mask(self, mask: int) -> "Dsp48Attributes":
+        """Copy with a different pattern-detector MASK."""
+        return replace(self, mask=mask)
+
+    def with_pattern(self, pattern: int) -> "Dsp48Attributes":
+        """Copy with a different pattern-detector PATTERN."""
+        return replace(self, pattern=pattern)
+
+    @property
+    def input_latency(self) -> int:
+        """Cycles from the A/B ports to the ALU input."""
+        return max(self.areg, self.breg)
+
+    @property
+    def search_latency(self) -> int:
+        """Cycles from the C port to a registered match output.
+
+        One cycle through CREG (if present) plus one through PREG (if
+        present); with both enabled this is the paper's 2-cycle cell
+        search latency (Table V).
+        """
+        return self.creg + self.preg
+
+
+def cam_cell_attributes(mask: int = 0) -> Dsp48Attributes:
+    """The attribute set used by the paper's CAM cell.
+
+    Single A/B/C input registers, registered output, no multiplier, and
+    the pattern detector comparing the (masked) XOR result against zero:
+    a stored-word/key match makes the XOR output all-zeros, so PATTERN
+    stays 0 and MASK encodes the CAM type per Table II.
+    """
+    return Dsp48Attributes(
+        areg=1,
+        breg=1,
+        creg=1,
+        mreg=0,
+        preg=1,
+        use_mult=False,
+        use_pattern_detect=True,
+        pattern=0,
+        mask=mask,
+    )

@@ -1,0 +1,307 @@
+"""Register-accurate functional model of the Xilinx DSP48E2 slice.
+
+The model reproduces the dataflow of UG579 figure 1-1 at cycle
+granularity:
+
+- A/B input register chains (AREG/BREG in 0..2) feeding both the
+  multiplier and the 48-bit ``A:B`` concatenation,
+- the C input register (CREG),
+- a 27x18 multiplier with optional MREG,
+- the X/Y/Z/W multiplexers decoded from OPMODE,
+- the 48-bit ALU (arithmetic add/sub and the two-input logic unit),
+- the output register PREG and the pattern detector
+  (``PATTERNDETECT = ((P ^ PATTERN) & ~MASK) == 0``), which is what the
+  CAM cell uses as its match bit.
+
+Clock enables (``ce_a`` etc.) gate each register chain, exactly like the
+silicon CE pins; the CAM cell uses ``ce_a/ce_b`` as its *update* strobe
+so a stored word is held until explicitly rewritten.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigError
+from repro.dsp.attributes import Dsp48Attributes
+from repro.dsp.opmode import (
+    ALL_ONES,
+    AluMode,
+    WMux,
+    XMux,
+    YMux,
+    ZMux,
+    apply_logic,
+    is_logic_mode,
+    logic_function,
+    unpack_opmode,
+)
+from repro.dsp.primitives import (
+    A_WIDTH,
+    B_WIDTH,
+    DSP_WIDTH,
+    concat_ab,
+    mask_for,
+    masked_equal,
+    truncate,
+)
+from repro.sim.component import Component
+
+#: The multiplier consumes A[26:0] (27 bits) and B[17:0] (18 bits).
+MULT_A_WIDTH = 27
+
+
+class DSP48E2(Component):
+    """One DSP48E2 slice as a synchronous component.
+
+    Input ports (assign before each cycle): :attr:`a`, :attr:`b`,
+    :attr:`c`, :attr:`pcin`, :attr:`carry_in`, :attr:`opmode`,
+    :attr:`alumode`, and the clock enables :attr:`ce_a`, :attr:`ce_b`,
+    :attr:`ce_c`, :attr:`ce_m`, :attr:`ce_p`.
+
+    Output ports (read after a cycle): :attr:`p`, :attr:`pcout`,
+    :attr:`patterndetect`, :attr:`patternbdetect`, :attr:`carryout`.
+    """
+
+    def __init__(
+        self,
+        attributes: Optional[Dsp48Attributes] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(name)
+        self.attributes = attributes if attributes is not None else Dsp48Attributes()
+        self.reset_state()
+
+    # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        attrs = self.attributes
+        # Input ports.
+        self.a = 0
+        self.b = 0
+        self.c = 0
+        self.d = 0
+        self.pcin = 0
+        self.carry_in = 0
+        self.opmode = 0
+        self.alumode = int(AluMode.ADD)
+        self.ce_a = True
+        self.ce_b = True
+        self.ce_c = True
+        self.ce_d = True
+        self.ce_m = True
+        self.ce_p = True
+        # Register chains (index 0 = closest to the port).
+        self._a_pipe: List[int] = [0] * attrs.areg
+        self._b_pipe: List[int] = [0] * attrs.breg
+        self._c_pipe: List[int] = [0] * attrs.creg
+        self._m_pipe: List[int] = [0] * attrs.mreg
+        self._d_pipe: List[int] = [0] * attrs.dreg
+        self._ad_pipe: List[int] = [0] * attrs.adreg
+        # Output ports.
+        self.p = 0
+        self.pcout = 0
+        self.carryout = 0
+        self.patterndetect = False
+        self.patternbdetect = False
+        # ALU memo (see compute()).
+        self._alu_key = None
+        self._alu_result = (0, 0, False, False)
+
+    # ------------------------------------------------------------------
+    # register-chain helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _chain_output(pipe: List[int], port_value: int) -> int:
+        """Value presented to downstream logic by a register chain."""
+        return pipe[-1] if pipe else port_value
+
+    @staticmethod
+    def _shifted(pipe: List[int], port_value: int, enable: bool) -> List[int]:
+        """Next state of a register chain after one clock edge."""
+        if not pipe:
+            return pipe
+        if not enable:
+            return list(pipe)
+        return [port_value] + pipe[:-1]
+
+    # ------------------------------------------------------------------
+    def compute(self) -> None:
+        attrs = self.attributes
+        a_port = truncate(self.a, A_WIDTH)
+        b_port = truncate(self.b, B_WIDTH)
+        c_port = truncate(self.c, DSP_WIDTH)
+
+        a_reg = self._chain_output(self._a_pipe, a_port)
+        b_reg = self._chain_output(self._b_pipe, b_port)
+        c_reg = self._chain_output(self._c_pipe, c_port)
+
+        # Pre-adder path (D + A, 27-bit wrap) feeding the multiplier
+        # when AMULTSEL = "AD".
+        d_port = truncate(self.d, MULT_A_WIDTH)
+        d_reg = self._chain_output(self._d_pipe, d_port)
+        ad_sum = truncate(d_reg + truncate(a_reg, MULT_A_WIDTH), MULT_A_WIDTH)
+        ad_reg = self._chain_output(self._ad_pipe, ad_sum)
+
+        # Multiplier path (27x18, unsigned model).
+        if attrs.use_mult:
+            mult_a = ad_reg if attrs.use_preadder else truncate(a_reg, MULT_A_WIDTH)
+            product = mult_a * b_reg
+            m_value = self._chain_output(self._m_pipe, truncate(product, DSP_WIDTH))
+        else:
+            product = 0
+            m_value = 0
+
+        # The ALU is a pure function of its sampled inputs; memoise the
+        # last evaluation so quiescent cycles (no port changes) skip the
+        # mux decode entirely -- a large win for big CAM simulations.
+        alu_key = (
+            a_reg, b_reg, c_reg, m_value, self.p,
+            self.opmode, self.alumode, self.carry_in, self.pcin,
+        )
+        if alu_key == self._alu_key:
+            alu_out, carry, pd, pbd = self._alu_result
+        else:
+            alu_out, carry, pd, pbd = self._evaluate_alu(
+                a_reg=a_reg, b_reg=b_reg, c_reg=c_reg, m_value=m_value
+            )
+            self._alu_key = alu_key
+            self._alu_result = (alu_out, carry, pd, pbd)
+
+        updates = {
+            "_a_pipe": self._shifted(self._a_pipe, a_port, self.ce_a),
+            "_b_pipe": self._shifted(self._b_pipe, b_port, self.ce_b),
+            "_c_pipe": self._shifted(self._c_pipe, c_port, self.ce_c),
+            "_d_pipe": self._shifted(self._d_pipe, d_port, self.ce_d),
+            "_ad_pipe": self._shifted(self._ad_pipe, ad_sum, True),
+        }
+        if attrs.use_mult:
+            updates["_m_pipe"] = self._shifted(
+                self._m_pipe, truncate(product, DSP_WIDTH), self.ce_m
+            )
+        if attrs.preg:
+            if self.ce_p:
+                updates.update(
+                    p=alu_out,
+                    pcout=alu_out,
+                    carryout=carry,
+                    patterndetect=pd,
+                    patternbdetect=pbd,
+                )
+            self.schedule(**updates)
+        else:
+            # Combinational P output: visible within the same cycle.
+            self.schedule(**updates)
+            self.p = alu_out
+            self.pcout = alu_out
+            self.carryout = carry
+            self.patterndetect = pd
+            self.patternbdetect = pbd
+        self.emit(p=alu_out, patterndetect=pd)
+
+    # ------------------------------------------------------------------
+    def _evaluate_alu(self, a_reg: int, b_reg: int, c_reg: int, m_value: int):
+        """Decode OPMODE/ALUMODE and produce (P, carry, PD, PBD)."""
+        attrs = self.attributes
+        x_sel, y_sel, z_sel, w_sel = unpack_opmode(self.opmode)
+        try:
+            alumode = AluMode(self.alumode)
+        except ValueError:
+            raise ConfigError(f"unsupported ALUMODE {self.alumode:#06b}")
+
+        ab = concat_ab(a_reg, b_reg)
+        x = {
+            XMux.ZERO: 0,
+            XMux.M: m_value,
+            XMux.P: self.p,
+            XMux.AB: ab,
+        }[x_sel]
+        y = {
+            YMux.ZERO: 0,
+            YMux.M: m_value,
+            YMux.ALL_ONES: ALL_ONES,
+            YMux.C: c_reg,
+        }[y_sel]
+        z = {
+            ZMux.ZERO: 0,
+            ZMux.PCIN: truncate(self.pcin, DSP_WIDTH),
+            ZMux.P: self.p,
+            ZMux.C: c_reg,
+            ZMux.P_MACC: self.p,
+            ZMux.PCIN_SHIFT17: truncate(self.pcin, DSP_WIDTH) >> 17,
+            ZMux.P_SHIFT17: self.p >> 17,
+        }[z_sel]
+        w = {
+            WMux.ZERO: 0,
+            WMux.P: self.p,
+            WMux.RND: attrs.rnd,
+            WMux.C: c_reg,
+        }[w_sel]
+
+        carry = 0
+        if is_logic_mode(alumode):
+            if (x_sel, y_sel) == (XMux.M, YMux.M):
+                raise ConfigError(
+                    "logic-unit mode cannot select the multiplier on X and Y"
+                )
+            function = logic_function(alumode, y_sel)
+            alu_out = apply_logic(function, x, z)
+        elif attrs.simd == "ONE48":
+            operand = w + x + y + self.carry_in
+            total = self._arith(alumode, z, operand)
+            carry = (total >> DSP_WIDTH) & 1 if total >= 0 else 0
+            alu_out = total & mask_for(DSP_WIDTH)
+        else:
+            # SIMD: independent lanes with no cross-lane carries. The
+            # carry-in only reaches lane 0 (UG579: CARRYIN per segment
+            # is tied to the single CARRYIN for simple adds).
+            lanes = 2 if attrs.simd == "TWO24" else 4
+            lane_width = DSP_WIDTH // lanes
+            lane_mask = mask_for(lane_width)
+            alu_out = 0
+            for lane in range(lanes):
+                shift = lane * lane_width
+                z_lane = (z >> shift) & lane_mask
+                operand = (
+                    ((w >> shift) & lane_mask)
+                    + ((x >> shift) & lane_mask)
+                    + ((y >> shift) & lane_mask)
+                    + (self.carry_in if lane == 0 else 0)
+                )
+                total = self._arith(alumode, z_lane, operand)
+                if total >= 0 and (total >> lane_width) & 1:
+                    carry |= 1 << lane
+                alu_out |= (total & lane_mask) << shift
+
+        if attrs.use_pattern_detect:
+            pd = masked_equal(alu_out, attrs.pattern, attrs.mask)
+            pbd = masked_equal(alu_out, ~attrs.pattern & ALL_ONES, attrs.mask)
+        else:
+            pd = False
+            pbd = False
+        return alu_out, carry, pd, pbd
+
+    @staticmethod
+    def _arith(alumode: AluMode, z: int, operand: int) -> int:
+        """One ALU arithmetic evaluation (full-width or one SIMD lane)."""
+        if alumode == AluMode.ADD:
+            return z + operand
+        if alumode == AluMode.SUB:
+            return z - operand
+        if alumode == AluMode.NOT_ADD:
+            return -z + operand - 1
+        return -(z + operand) - 1  # AluMode.NOT_SUB
+
+    # ------------------------------------------------------------------
+    # inspection helpers used by the CAM cell and by tests
+    # ------------------------------------------------------------------
+    @property
+    def stored_ab(self) -> int:
+        """Current 48-bit A:B register contents (the CAM stored word)."""
+        a_reg = self._chain_output(self._a_pipe, truncate(self.a, A_WIDTH))
+        b_reg = self._chain_output(self._b_pipe, truncate(self.b, B_WIDTH))
+        return concat_ab(a_reg, b_reg)
+
+    @property
+    def held_c(self) -> int:
+        """Current C register contents (the last latched search key)."""
+        return self._chain_output(self._c_pipe, truncate(self.c, DSP_WIDTH))

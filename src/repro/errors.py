@@ -1,0 +1,64 @@
+"""Exception hierarchy for the DSP-CAM reproduction library.
+
+All exceptions raised on purpose by :mod:`repro` derive from
+:class:`ReproError`, so downstream users can catch a single type at an
+integration boundary while tests can assert the precise subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An architectural parameter is invalid or inconsistent.
+
+    Raised while validating :mod:`repro.core.config` dataclasses, e.g. a
+    storage width above 48 bits or a non power-of-two block size.
+    """
+
+
+class CapacityError(ReproError):
+    """An operation would exceed a hardware capacity.
+
+    Raised when updating a full CAM block/unit or when a requested
+    configuration does not fit the target device.
+    """
+
+
+class SimulationError(ReproError):
+    """The cycle simulator was driven in an unsupported way.
+
+    Examples: conflicting writes to the same scheduled attribute in one
+    cycle, or a ``run_until`` that exceeds its cycle budget.
+    """
+
+
+class MaskError(ReproError):
+    """A CAM mask is malformed for the selected CAM type.
+
+    For example a range-matching CAM range whose bounds are not aligned
+    to a power-of-two block, which the DSP MASK register cannot express.
+    """
+
+
+class RoutingError(ReproError):
+    """Group/block routing is inconsistent.
+
+    Raised when the requested group count does not divide the number of
+    blocks, or when more concurrent queries than groups are issued.
+    """
+
+
+class HdlGenError(ReproError):
+    """Verilog generation failed (bad identifier, impossible template)."""
+
+
+class DatasetError(ReproError):
+    """A graph dataset is unknown or its stand-in cannot be generated."""
+
+
+class DeviceError(ReproError):
+    """An FPGA device is unknown or lacks a required resource column."""

@@ -1,0 +1,60 @@
+"""FPGA fabric model: devices, resources, calibrated area and timing."""
+
+from repro.fabric.area import (
+    BLOCK_LUT_ANCHORS,
+    UNIT_LUT_ANCHORS,
+    block_ff_cost,
+    block_lut_cost,
+    block_resources,
+    unit_lut_cost,
+    unit_resources,
+)
+from repro.fabric.calibration import CalibratedCurve
+from repro.fabric.floorplan import (
+    FloorplanReport,
+    fits_single_slr,
+    floorplan_unit,
+    max_single_slr_entries,
+)
+from repro.fabric.device import (
+    ALVEO_U250,
+    ALVEO_U250_SLR,
+    DEVICES,
+    Device,
+    get_device,
+)
+from repro.fabric.resources import ResourceVector, total
+from repro.fabric.timing import (
+    TARGET_FREQUENCY_MHZ,
+    block_frequency_mhz,
+    search_throughput_mops,
+    unit_frequency_mhz,
+    update_throughput_mops,
+)
+
+__all__ = [
+    "ALVEO_U250",
+    "ALVEO_U250_SLR",
+    "BLOCK_LUT_ANCHORS",
+    "CalibratedCurve",
+    "DEVICES",
+    "Device",
+    "FloorplanReport",
+    "ResourceVector",
+    "fits_single_slr",
+    "floorplan_unit",
+    "max_single_slr_entries",
+    "TARGET_FREQUENCY_MHZ",
+    "UNIT_LUT_ANCHORS",
+    "block_ff_cost",
+    "block_frequency_mhz",
+    "block_lut_cost",
+    "block_resources",
+    "get_device",
+    "search_throughput_mops",
+    "total",
+    "unit_frequency_mhz",
+    "unit_lut_cost",
+    "unit_resources",
+    "update_throughput_mops",
+]

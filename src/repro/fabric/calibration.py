@@ -1,0 +1,111 @@
+"""Anchored empirical curves for tool-dependent quantities.
+
+LUT counts and achievable clock frequency are outputs of Vivado
+synthesis/place/route, which this reproduction cannot run. Instead we
+model each such quantity as a :class:`CalibratedCurve`: a piecewise
+curve anchored at the paper's published implementation results,
+interpolated (linearly in log2 of the independent variable, the natural
+scale for fanout/tree-depth effects) between anchors and extrapolated
+with the boundary slope beyond them. Every curve carries a provenance
+string naming the paper table its anchors come from; the benches print
+it so a reader can tell measured-from-model numbers apart from
+simulated-cycle numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigError
+
+
+class CalibratedCurve:
+    """Piecewise-linear curve through (x, y) anchor points.
+
+    Parameters
+    ----------
+    anchors:
+        Mapping of independent variable to observed value. At least one
+        anchor is required; a single anchor yields a constant curve.
+    provenance:
+        Human-readable origin of the anchors (e.g. ``"Table VII"``).
+    transform:
+        Monotone transform applied to x before interpolation;
+        defaults to log2, appropriate for sizes that grow geometrically.
+    clamp:
+        Optional (lo, hi) bounds applied to the output.
+    """
+
+    def __init__(
+        self,
+        anchors: Dict[float, float],
+        provenance: str,
+        transform: Callable[[float], float] = math.log2,
+        clamp: Optional[Tuple[Optional[float], Optional[float]]] = None,
+    ) -> None:
+        if not anchors:
+            raise ConfigError("CalibratedCurve needs at least one anchor")
+        points = sorted(anchors.items())
+        self._xs = [transform(x) for x, _ in points]
+        self._ys = [y for _, y in points]
+        self._raw_xs = [x for x, _ in points]
+        self.provenance = provenance
+        self._transform = transform
+        self._clamp = clamp
+        for left, right in zip(self._xs, self._xs[1:]):
+            if right <= left:
+                raise ConfigError(
+                    "CalibratedCurve anchors must be strictly increasing "
+                    "after the transform"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def domain(self) -> Tuple[float, float]:
+        """The (min, max) anchor positions in raw x."""
+        return self._raw_xs[0], self._raw_xs[-1]
+
+    def is_anchor(self, x: float) -> bool:
+        """True when x is exactly one of the calibration anchors."""
+        return x in self._raw_xs
+
+    def __call__(self, x: float) -> float:
+        if x <= 0:
+            raise ConfigError(f"curve input must be positive, got {x}")
+        t = self._transform(x)
+        value = self._evaluate(t)
+        if self._clamp is not None:
+            lo, hi = self._clamp
+            if lo is not None:
+                value = max(lo, value)
+            if hi is not None:
+                value = min(hi, value)
+        return value
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, t: float) -> float:
+        xs, ys = self._xs, self._ys
+        if len(xs) == 1:
+            return ys[0]
+        if t <= xs[0]:
+            return self._segment(t, 0)
+        if t >= xs[-1]:
+            return self._segment(t, len(xs) - 2)
+        for index in range(len(xs) - 1):
+            if xs[index] <= t <= xs[index + 1]:
+                return self._segment(t, index)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _segment(self, t: float, index: int) -> float:
+        x0, x1 = self._xs[index], self._xs[index + 1]
+        y0, y1 = self._ys[index], self._ys[index + 1]
+        slope = (y1 - y0) / (x1 - x0)
+        return y0 + slope * (t - x0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo, hi = self.domain
+        return (
+            f"<CalibratedCurve {self.provenance!r} anchors "
+            f"[{lo}..{hi}] n={len(self._ys)}>"
+        )

@@ -1,0 +1,117 @@
+"""Catalogue of FPGA devices referenced by the paper.
+
+The primary target is the AMD Alveo U250 (Table IV). The platforms used
+by the surveyed designs of Table I are included with their public
+datasheet capacities so resource-utilisation percentages in the benches
+can be computed for every row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import DeviceError
+from repro.fabric.resources import ResourceVector
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA part/board with its usable resource capacity."""
+
+    name: str
+    family: str
+    capacity: ResourceVector
+    #: Number of super logic regions (SLRs); cross-SLR paths cost timing.
+    slr_count: int = 1
+    #: Datasheet maximum DSP clock in MHz (UG579 for UltraScale+).
+    dsp_fmax_mhz: float = 650.0
+
+    def utilisation(self, usage: ResourceVector) -> Dict[str, float]:
+        """Fractional utilisation of this device by ``usage``."""
+        return usage.utilisation(self.capacity)
+
+    def fits(self, usage: ResourceVector) -> bool:
+        """Whether ``usage`` fits on this device."""
+        return usage.fits_in(self.capacity)
+
+
+#: AMD Alveo U250 -- the paper's evaluation platform (Table IV).
+ALVEO_U250 = Device(
+    name="Alveo U250",
+    family="UltraScale+",
+    capacity=ResourceVector(
+        lut=1_728_000, ff=3_456_000, bram=2_688, uram=1_280, dsp=12_288
+    ),
+    slr_count=4,
+    dsp_fmax_mhz=891.0,
+)
+
+#: Effective per-SLR slice of the U250, used by the Table IX case study
+#: (the paper constrains both designs to a single SLR / DDR channel).
+ALVEO_U250_SLR = Device(
+    name="Alveo U250 (1 SLR)",
+    family="UltraScale+",
+    capacity=ResourceVector(
+        lut=432_000, ff=864_000, bram=672, uram=320, dsp=3_072
+    ),
+    slr_count=1,
+    dsp_fmax_mhz=891.0,
+)
+
+#: Platforms used by the surveyed designs in Table I.
+_SURVEY_DEVICES = [
+    Device(
+        name="XC7V2000T",
+        family="Virtex-7",
+        capacity=ResourceVector(lut=1_221_600, ff=2_443_200, bram=1_292, dsp=2_160),
+        slr_count=4,
+        dsp_fmax_mhz=741.0,
+    ),
+    Device(
+        name="Virtex-6",
+        family="Virtex-6",
+        capacity=ResourceVector(lut=474_240, ff=948_480, bram=1_064, dsp=2_016),
+        dsp_fmax_mhz=600.0,
+    ),
+    Device(
+        name="XC6VLX760",
+        family="Virtex-6",
+        capacity=ResourceVector(lut=474_240, ff=948_480, bram=1_440, dsp=864),
+        dsp_fmax_mhz=600.0,
+    ),
+    Device(
+        name="Intel Arria V 5ASTD5",
+        family="Arria V",
+        # ALMs play the LUT role; M10K blocks play the BRAM role.
+        capacity=ResourceVector(lut=190_240, ff=380_480, bram=2_414, dsp=1_090),
+        dsp_fmax_mhz=500.0,
+    ),
+    Device(
+        name="Kintex-7",
+        family="Kintex-7",
+        capacity=ResourceVector(lut=254_200, ff=508_400, bram=890, dsp=1_540),
+        dsp_fmax_mhz=741.0,
+    ),
+    Device(
+        name="XCVU9P",
+        family="UltraScale+",
+        capacity=ResourceVector(lut=1_182_240, ff=2_364_480, bram=2_160, uram=960, dsp=6_840),
+        slr_count=3,
+        dsp_fmax_mhz=891.0,
+    ),
+]
+
+DEVICES: Dict[str, Device] = {
+    device.name: device
+    for device in [ALVEO_U250, ALVEO_U250_SLR] + _SURVEY_DEVICES
+}
+
+
+def get_device(name: str) -> Device:
+    """Look up a device by its catalogue name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        known = ", ".join(sorted(DEVICES))
+        raise DeviceError(f"unknown device {name!r}; known: {known}")

@@ -1,0 +1,127 @@
+"""SLR floorplanning for CAM units on multi-die FPGAs.
+
+The U250 is four super logic regions (SLRs) stitched by limited
+inter-die routing. Two facts in the paper hang off this structure:
+
+- the Table IX case study caps its CAM at 2K entries "to remain within
+  a single super logic region (SLR) since the baseline design is also
+  implemented inside a single SLR";
+- the unit frequency droop past 2K entries (Table VII) tracks the
+  design spilling into more SLRs, where the key-broadcast and
+  result-merge nets pay inter-die crossings.
+
+This module assigns blocks to SLRs (contiguous fill, each block's DSP
+column stays within one SLR) and reports the broadcast crossing count
+and per-SLR utilisation. Frequency itself stays with the calibrated
+curve in :mod:`repro.fabric.timing`; the floorplan supplies the
+structural explanation and the feasibility checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import CapacityError, DeviceError
+from repro.fabric.device import ALVEO_U250, Device
+
+
+@dataclass(frozen=True)
+class FloorplanReport:
+    """Where a unit's blocks land and what the stitching costs."""
+
+    device: str
+    #: SLR index per block, in block order.
+    assignments: List[int]
+    #: DSPs consumed per SLR.
+    per_slr_dsp: List[int]
+    #: Inter-die hops the key-broadcast / result-merge nets traverse.
+    crossings: int
+
+    @property
+    def slrs_used(self) -> int:
+        return len({slr for slr in self.assignments}) if self.assignments else 0
+
+    @property
+    def single_slr(self) -> bool:
+        return self.slrs_used <= 1
+
+
+def floorplan_unit(
+    total_entries: int,
+    block_size: int,
+    device: Device = ALVEO_U250,
+    slr_dsp_budget: float = 1.0,
+) -> FloorplanReport:
+    """Assign a unit's blocks to SLRs by contiguous fill.
+
+    ``slr_dsp_budget`` reserves headroom per SLR (e.g. 0.9 leaves 10%
+    of each die's DSPs for the surrounding system). Raises
+    :class:`CapacityError` when the device cannot host the unit.
+    """
+    if device.slr_count < 1:
+        raise DeviceError(f"{device.name}: invalid SLR count")
+    if not 0 < slr_dsp_budget <= 1:
+        raise DeviceError(f"slr_dsp_budget must be in (0, 1], got {slr_dsp_budget}")
+    if total_entries < 1 or block_size < 1 or total_entries % block_size:
+        raise DeviceError(
+            f"total_entries ({total_entries}) must be a positive multiple "
+            f"of block_size ({block_size})"
+        )
+    dsp_per_slr = int(device.capacity.dsp / device.slr_count * slr_dsp_budget)
+    if block_size > dsp_per_slr:
+        raise CapacityError(
+            f"a {block_size}-cell block does not fit one SLR "
+            f"({dsp_per_slr} DSPs available)"
+        )
+    num_blocks = total_entries // block_size
+
+    assignments: List[int] = []
+    per_slr = [0] * device.slr_count
+    slr = 0
+    for _block in range(num_blocks):
+        while slr < device.slr_count and per_slr[slr] + block_size > dsp_per_slr:
+            slr += 1
+        if slr >= device.slr_count:
+            raise CapacityError(
+                f"{total_entries} entries exceed the device: "
+                f"{sum(per_slr)} DSPs placed, block needs {block_size} more"
+            )
+        assignments.append(slr)
+        per_slr[slr] += block_size
+    crossings = max(0, len({s for s in assignments}) - 1)
+    return FloorplanReport(
+        device=device.name,
+        assignments=assignments,
+        per_slr_dsp=per_slr,
+        crossings=crossings,
+    )
+
+
+def fits_single_slr(
+    total_entries: int,
+    block_size: int,
+    device: Device = ALVEO_U250,
+    slr_dsp_budget: float = 1.0,
+) -> bool:
+    """Whether the unit stays within one SLR (the Table IX constraint)."""
+    try:
+        report = floorplan_unit(total_entries, block_size, device, slr_dsp_budget)
+    except CapacityError:
+        return False
+    return report.single_slr
+
+
+def max_single_slr_entries(
+    block_size: int,
+    device: Device = ALVEO_U250,
+    slr_dsp_budget: float = 1.0,
+) -> int:
+    """Largest unit capacity that still floorplans into one SLR."""
+    dsp_per_slr = int(device.capacity.dsp / device.slr_count * slr_dsp_budget)
+    blocks = dsp_per_slr // block_size
+    if blocks < 1:
+        raise CapacityError(
+            f"a {block_size}-cell block does not fit one SLR of {device.name}"
+        )
+    return blocks * block_size

@@ -1,0 +1,89 @@
+"""FPGA resource accounting: typed resource vectors and utilisation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Iterable
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """A count of FPGA primitives of each kind.
+
+    Used both for device capacities (Table IV) and for design costs
+    (Tables I, VI, VII). Supports addition and integer scaling so block
+    costs compose into unit costs.
+    """
+
+    lut: int = 0
+    ff: int = 0
+    bram: int = 0
+    uram: int = 0
+    dsp: int = 0
+    carry: int = 0
+
+    def __post_init__(self) -> None:
+        for field_ in fields(self):
+            value = getattr(self, field_.name)
+            if value < 0:
+                raise DeviceError(
+                    f"resource {field_.name} must be non-negative, got {value}"
+                )
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __mul__(self, count: int) -> "ResourceVector":
+        if count < 0:
+            raise DeviceError(f"cannot scale resources by negative {count}")
+        return ResourceVector(
+            **{f.name: getattr(self, f.name) * count for f in fields(self)}
+        )
+
+    __rmul__ = __mul__
+
+    def __iter__(self):
+        for f in fields(self):
+            yield f.name, getattr(self, f.name)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain dict form, for table rendering and JSON output."""
+        return dict(self)
+
+    def nonzero(self) -> Dict[str, int]:
+        """Only the resource kinds actually used."""
+        return {name: value for name, value in self if value}
+
+    # ------------------------------------------------------------------
+    def fits_in(self, capacity: "ResourceVector") -> bool:
+        """True when every kind is within the capacity."""
+        return all(value <= getattr(capacity, name) for name, value in self)
+
+    def utilisation(self, capacity: "ResourceVector") -> Dict[str, float]:
+        """Fractional utilisation per kind (skips kinds absent on device)."""
+        out: Dict[str, float] = {}
+        for name, value in self:
+            limit = getattr(capacity, name)
+            if limit:
+                out[name] = value / limit
+            elif value:
+                raise DeviceError(
+                    f"design uses {value} {name} but device has none"
+                )
+        return out
+
+
+def total(vectors: Iterable[ResourceVector]) -> ResourceVector:
+    """Sum an iterable of resource vectors."""
+    acc = ResourceVector()
+    for vector in vectors:
+        acc = acc + vector
+    return acc

@@ -1,0 +1,192 @@
+"""Compressed Sparse Row graph container.
+
+The case study's graphs are stored exactly as the accelerator consumes
+them: a CSR offset/length view per vertex over a flat neighbour column
+array (paper section V-B). The container is numpy-backed so the
+per-edge cost model can vectorise over millions of edges.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+class CSRGraph:
+    """An undirected simple graph in CSR form with sorted adjacency."""
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        num_vertices: Optional[int] = None,
+    ) -> "CSRGraph":
+        """Build from an edge list; dedupes, drops self-loops, symmetrises."""
+        array = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges,
+                           dtype=np.int64)
+        if array.size == 0:
+            n = num_vertices or 0
+            return cls(np.zeros(n + 1, dtype=np.int64),
+                       np.empty(0, dtype=np.int64))
+        if array.ndim != 2 or array.shape[1] != 2:
+            raise DatasetError(
+                f"edge array must have shape (m, 2), got {array.shape}"
+            )
+        if array.min() < 0:
+            raise DatasetError("vertex ids must be non-negative")
+        array = array[array[:, 0] != array[:, 1]]  # drop self loops
+        if array.size == 0:
+            n = int(num_vertices or 0)
+            return cls(np.zeros(n + 1, dtype=np.int64),
+                       np.empty(0, dtype=np.int64))
+        lo = np.minimum(array[:, 0], array[:, 1])
+        hi = np.maximum(array[:, 0], array[:, 1])
+        stride = int(hi.max()) + 1
+        canon = np.unique(lo * stride + hi)
+        lo = canon // stride
+        hi = canon % stride
+        n = int(max(stride, num_vertices or 0))
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        counts = np.bincount(src, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`DatasetError`."""
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise DatasetError("indptr/indices must be 1-D")
+        if self.indptr.size == 0:
+            raise DatasetError("indptr must have at least one element")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.indices.size:
+            raise DatasetError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise DatasetError("indptr must be non-decreasing")
+        if self.indices.size and (
+            self.indices.min() < 0 or self.indices.max() >= self.num_vertices
+        ):
+            raise DatasetError("neighbour index out of range")
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Undirected edge count (each edge stored twice in CSR)."""
+        return self.indices.size // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def degree(self, vertex: int) -> int:
+        return int(self.indptr[vertex + 1] - self.indptr[vertex])
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Sorted neighbour view of one vertex."""
+        return self.indices[self.indptr[vertex]:self.indptr[vertex + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        pos = np.searchsorted(nbrs, v)
+        return pos < nbrs.size and nbrs[pos] == v
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate each undirected edge once, as (low, high)."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges once, shape (m, 2), low vertex first."""
+        src = np.repeat(np.arange(self.num_vertices), self.degrees)
+        mask = src < self.indices
+        return np.column_stack([src[mask], self.indices[mask]])
+
+    # ------------------------------------------------------------------
+    # orientation (the forward/degree ordering used by triangle counting)
+    # ------------------------------------------------------------------
+    def oriented(self) -> "OrientedCSR":
+        """Orient edges from lower (degree, id) to higher (degree, id).
+
+        The standard forward orientation: each undirected edge becomes
+        one directed edge toward the endpoint with the larger (degree,
+        id) rank, which bounds out-degrees and makes the per-edge
+        intersection count each triangle exactly once.
+        """
+        degrees = self.degrees
+        rank = np.lexsort((np.arange(self.num_vertices), degrees))
+        position = np.empty_like(rank)
+        position[rank] = np.arange(self.num_vertices)
+
+        src = np.repeat(np.arange(self.num_vertices), degrees)
+        dst = self.indices
+        forward = position[src] < position[dst]
+        f_src, f_dst = src[forward], dst[forward]
+        order = np.lexsort((position[f_dst], f_src))
+        f_src, f_dst = f_src[order], f_dst[order]
+        counts = np.bincount(f_src, minlength=self.num_vertices)
+        indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return OrientedCSR(indptr, f_dst.astype(np.int64), position)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CSRGraph |V|={self.num_vertices} |E|={self.num_edges}>"
+        )
+
+
+class OrientedCSR:
+    """Directed forward-oriented view produced by :meth:`CSRGraph.oriented`.
+
+    Adjacency lists are sorted by the orientation rank, so two oriented
+    lists can be merge-intersected directly -- exactly what both the
+    merge baseline and the CAM accelerator consume.
+    """
+
+    def __init__(
+        self, indptr: np.ndarray, indices: np.ndarray, rank_position: np.ndarray
+    ) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.rank_position = rank_position
+
+    @property
+    def num_vertices(self) -> int:
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        return self.indices.size
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        return self.indices[self.indptr[vertex]:self.indptr[vertex + 1]]
+
+    def edge_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(src, dst) arrays over every oriented edge."""
+        src = np.repeat(np.arange(self.num_vertices), self.out_degrees)
+        return src, self.indices

@@ -1,0 +1,179 @@
+"""Synthetic graph generators for the dataset stand-ins.
+
+The Table IX speedups are driven by the *shape* of each graph's
+adjacency-list length distribution (see DESIGN.md), so one generator
+per structural family is provided:
+
+- :func:`power_law` -- configuration-model power-law graphs with
+  optional triangle-closing passes (social networks, AS topologies),
+- :func:`road_network` -- 2-D lattice with perturbations (road graphs:
+  tiny, near-uniform degrees),
+- :func:`preferential_attachment` -- Barabasi-Albert style growth
+  (citation / co-purchase graphs),
+- :func:`erdos_renyi` -- the unstructured control.
+
+All generators are deterministic given a seed and return
+:class:`repro.graph.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.graph.csr import CSRGraph
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(20250705 if seed is None else seed)
+
+
+def erdos_renyi(num_vertices: int, num_edges: int, seed: Optional[int] = None) -> CSRGraph:
+    """Uniform random graph with ~``num_edges`` distinct edges."""
+    if num_vertices < 2:
+        raise DatasetError("erdos_renyi needs at least 2 vertices")
+    rng = _rng(seed)
+    # Oversample to survive dedup/self-loop removal.
+    m = int(num_edges * 1.15) + 8
+    edges = rng.integers(0, num_vertices, size=(m, 2), dtype=np.int64)
+    return CSRGraph.from_edges(edges, num_vertices=num_vertices)
+
+
+def power_law(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.3,
+    triangle_fraction: float = 0.0,
+    max_degree: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Configuration-model power-law graph.
+
+    Degrees are drawn from a truncated zipf with the given exponent and
+    rescaled to hit ``num_edges``. ``max_degree`` truncates the tail so
+    a stand-in can match a real dataset's hub size (the Table IX cost
+    model is very sensitive to hub weight). ``triangle_fraction``
+    closes that fraction of wedges into triangles afterwards, raising
+    clustering to social-network levels without changing the degree
+    shape much.
+    """
+    if num_vertices < 3:
+        raise DatasetError("power_law needs at least 3 vertices")
+    if not 1.5 <= exponent <= 4.0:
+        raise DatasetError(f"exponent {exponent} outside the sane 1.5..4 range")
+    rng = _rng(seed)
+    cap = num_vertices / 4 if max_degree is None else max(4, max_degree)
+    raw = rng.zipf(exponent, size=num_vertices).astype(np.float64)
+    raw = np.minimum(raw, cap)
+    scale = (2.0 * num_edges) / raw.sum()
+    degrees = np.maximum(1, np.round(raw * scale)).astype(np.int64)
+    degrees = np.minimum(degrees, int(cap))
+    stubs = np.repeat(np.arange(num_vertices, dtype=np.int64), degrees)
+    rng.shuffle(stubs)
+    if stubs.size % 2:
+        stubs = stubs[:-1]
+    edges = stubs.reshape(-1, 2)
+    graph = CSRGraph.from_edges(edges, num_vertices=num_vertices)
+    if triangle_fraction > 0:
+        graph = _close_wedges(graph, triangle_fraction, rng)
+    return graph
+
+
+def _close_wedges(
+    graph: CSRGraph, fraction: float, rng: np.random.Generator
+) -> CSRGraph:
+    """Add edges closing random wedges (u-w-v becomes a triangle)."""
+    extra = []
+    target = int(graph.num_edges * fraction)
+    candidates = np.flatnonzero(graph.degrees >= 2)
+    if candidates.size == 0 or target == 0:
+        return graph
+    centers = rng.choice(candidates, size=target)
+    for w in centers:
+        nbrs = graph.neighbors(int(w))
+        pick = rng.choice(nbrs.size, size=2, replace=False)
+        extra.append((int(nbrs[pick[0]]), int(nbrs[pick[1]])))
+    combined = np.vstack([graph.edge_array(), np.asarray(extra, dtype=np.int64)])
+    return CSRGraph.from_edges(combined, num_vertices=graph.num_vertices)
+
+
+def road_network(
+    num_vertices: int,
+    extra_edge_fraction: float = 0.05,
+    dropout: float = 0.08,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Planar-ish road grid: 2-D lattice with dropout and shortcuts.
+
+    Degrees concentrate around 2-4 exactly like the SNAP roadNet
+    graphs, which is what starves the CAM accelerator of parallelism in
+    Table IX (the paper's lowest speedups).
+    """
+    if num_vertices < 4:
+        raise DatasetError("road_network needs at least 4 vertices")
+    rng = _rng(seed)
+    side = int(np.sqrt(num_vertices))
+    rows, cols = side, (num_vertices + side - 1) // side
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    horiz_r, horiz_c = np.meshgrid(np.arange(rows), np.arange(cols - 1),
+                                   indexing="ij")
+    vert_r, vert_c = np.meshgrid(np.arange(rows - 1), np.arange(cols),
+                                 indexing="ij")
+    edges = np.concatenate([
+        np.column_stack([
+            (horiz_r * cols + horiz_c).ravel(),
+            (horiz_r * cols + horiz_c + 1).ravel(),
+        ]),
+        np.column_stack([
+            (vert_r * cols + vert_c).ravel(),
+            ((vert_r + 1) * cols + vert_c).ravel(),
+        ]),
+    ])
+    keep = rng.random(edges.shape[0]) >= dropout
+    edges = edges[keep]
+    shortcuts = int(edges.shape[0] * extra_edge_fraction)
+    if shortcuts:
+        r = rng.integers(0, rows - 1, size=shortcuts)
+        c = rng.integers(0, cols - 1, size=shortcuts)
+        extra = np.column_stack([vid(0, 0) + r * cols + c,
+                                 (r + 1) * cols + (c + 1)])
+        edges = np.vstack([edges, extra])
+    edges = edges[(edges < rows * cols).all(axis=1)]
+    return CSRGraph.from_edges(edges, num_vertices=rows * cols)
+
+
+def preferential_attachment(
+    num_vertices: int,
+    edges_per_vertex: int,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Barabasi-Albert growth: each new vertex attaches to ``m`` targets
+    chosen proportionally to degree (hub-heavy, citation-like)."""
+    if edges_per_vertex < 1:
+        raise DatasetError("edges_per_vertex must be >= 1")
+    if num_vertices <= edges_per_vertex:
+        raise DatasetError("need more vertices than edges_per_vertex")
+    rng = _rng(seed)
+    m = edges_per_vertex
+    # Repeated-nodes list trick: O(E) preferential attachment.
+    targets = list(range(m))
+    repeated: list = []
+    edges = np.empty(((num_vertices - m) * m, 2), dtype=np.int64)
+    k = 0
+    for source in range(m, num_vertices):
+        for t in targets:
+            edges[k] = (source, t)
+            k += 1
+        repeated.extend(targets)
+        repeated.extend([source] * m)
+        picks = rng.integers(0, len(repeated), size=m)
+        targets = list({repeated[p] for p in picks})
+        while len(targets) < m:
+            targets.append(int(rng.integers(0, source + 1)))
+        targets = targets[:m]
+    return CSRGraph.from_edges(edges[:k], num_vertices=num_vertices)

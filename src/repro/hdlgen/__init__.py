@@ -1,0 +1,39 @@
+"""Parameterised Verilog generation for the CAM templates."""
+
+from repro.hdlgen.generator import (
+    generate_block,
+    generate_cell,
+    generate_project,
+    generate_unit,
+    write_project,
+)
+from repro.hdlgen.testbench import (
+    generate_block_testbench,
+    generate_cell_testbench,
+)
+from repro.hdlgen.verilog import (
+    balanced_blocks,
+    check_identifier,
+    count_occurrences,
+    instantiate,
+    port_decl,
+    render_parameters,
+    vbits,
+)
+
+__all__ = [
+    "balanced_blocks",
+    "check_identifier",
+    "count_occurrences",
+    "generate_block",
+    "generate_block_testbench",
+    "generate_cell",
+    "generate_cell_testbench",
+    "generate_project",
+    "generate_unit",
+    "instantiate",
+    "port_decl",
+    "render_parameters",
+    "vbits",
+    "write_project",
+]

@@ -1,0 +1,113 @@
+"""Fill the Verilog templates from a validated Table III configuration.
+
+``generate_unit`` takes the same :class:`repro.core.UnitConfig` the
+simulator runs, so the emitted RTL and the Python model are
+parameterised identically -- the "design stage" half of the paper's
+configurability story.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+from repro.core.config import BlockConfig, CellConfig, UnitConfig
+from repro.core.mask import width_mask
+from repro.core.types import CamType
+from repro.dsp import CAM_ALUMODE, CAM_OPMODE, clog2
+from repro.errors import HdlGenError
+from repro.hdlgen.templates import (
+    CAM_BLOCK_TEMPLATE,
+    CAM_CELL_TEMPLATE,
+    CAM_UNIT_TEMPLATE,
+)
+from repro.hdlgen.verilog import balanced_blocks, vbits
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _mask_literal(cell: CellConfig) -> str:
+    """The static CELL_MASK parameter default for the CAM type.
+
+    Binary cells mask only the unused width; ternary/range cells get
+    the same default (their per-entry masks are written at runtime
+    through the update datapath in the full design; the static
+    parameter covers the width-control role of Table II).
+    """
+    return vbits(48, width_mask(cell.data_width))
+
+
+def generate_cell(cell: CellConfig) -> str:
+    """Emit ``cam_cell.v`` for a cell configuration."""
+    source = CAM_CELL_TEMPLATE.format(
+        data_width=cell.data_width,
+        mask_literal=_mask_literal(cell),
+        opmode_bits=format(CAM_OPMODE, "09b"),
+        alumode_bits=format(int(CAM_ALUMODE), "04b"),
+    )
+    _self_check(source, "cam_cell")
+    return source
+
+
+def generate_block(block: BlockConfig, buffered: bool = None) -> str:
+    """Emit ``cam_block.v`` for a block configuration."""
+    resolved_buffer = block.buffered if buffered is None else buffered
+    source = CAM_BLOCK_TEMPLATE.format(
+        block_size=block.block_size,
+        data_width=block.cell.data_width,
+        bus_width=block.bus_width,
+        words_per_beat=block.words_per_beat,
+        addr_bits=max(1, clog2(block.block_size)),
+        output_buffer=1 if resolved_buffer else 0,
+        mask_literal=_mask_literal(block.cell),
+    )
+    _self_check(source, "cam_block")
+    return source
+
+
+def generate_unit(config: UnitConfig) -> str:
+    """Emit ``cam_unit.v`` for a unit configuration."""
+    block = config.block
+    source = CAM_UNIT_TEMPLATE.format(
+        num_blocks=config.num_blocks,
+        block_size=block.block_size,
+        data_width=block.cell.data_width,
+        bus_width=config.unit_bus_width,
+        group_bits=max(1, clog2(config.num_blocks)),
+        addr_bits=max(1, clog2(block.block_size)),
+        block_bits=max(1, clog2(config.num_blocks)),
+        output_buffer=1 if config.block_buffered else 0,
+        mask_literal=_mask_literal(block.cell),
+    )
+    _self_check(source, "cam_unit")
+    return source
+
+
+def generate_project(config: UnitConfig) -> Dict[str, str]:
+    """All three sources keyed by file name."""
+    return {
+        "cam_cell.v": generate_cell(config.block.cell),
+        "cam_block.v": generate_block(config.block, config.block_buffered),
+        "cam_unit.v": generate_unit(config),
+    }
+
+
+def write_project(config: UnitConfig, out_dir: PathLike) -> Dict[str, str]:
+    """Write the generated sources to ``out_dir``; returns paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    written = {}
+    for name, source in generate_project(config).items():
+        path = os.path.join(os.fspath(out_dir), name)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(source)
+        written[name] = path
+    return written
+
+
+def _self_check(source: str, module: str) -> None:
+    if f"module {module}" not in source:
+        raise HdlGenError(f"generated source lost its module header ({module})")
+    if not balanced_blocks(source):
+        raise HdlGenError(f"generated {module} has unbalanced blocks")
+    if "{" + "}" in source or "{0}" in source:  # unfilled placeholder
+        raise HdlGenError(f"generated {module} has unfilled placeholders")

@@ -1,0 +1,101 @@
+"""Small Verilog writer helpers used by the template generator."""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import HdlGenError
+
+_IDENTIFIER = re.compile(r"^[A-Za-z_][A-Za-z0-9_$]*$")
+
+#: Verilog-2001 keywords we refuse to use as identifiers.
+_KEYWORDS = frozenset(
+    "module endmodule input output inout wire reg parameter localparam "
+    "assign always begin end if else case endcase for generate endgenerate "
+    "genvar integer function endfunction posedge negedge or and not xor".split()
+)
+
+
+def check_identifier(name: str) -> str:
+    """Validate a Verilog identifier; returns it unchanged."""
+    if not _IDENTIFIER.match(name):
+        raise HdlGenError(f"invalid Verilog identifier: {name!r}")
+    if name in _KEYWORDS:
+        raise HdlGenError(f"Verilog keyword used as identifier: {name!r}")
+    return name
+
+
+def vbits(width: int, value: int) -> str:
+    """Render a sized hexadecimal literal, e.g. ``48'h00000000beef``."""
+    if width < 1:
+        raise HdlGenError(f"literal width must be >= 1, got {width}")
+    if value < 0 or value >> width:
+        raise HdlGenError(f"value {value:#x} does not fit in {width} bits")
+    digits = (width + 3) // 4
+    return f"{width}'h{value:0{digits}x}"
+
+
+def port_decl(direction: str, name: str, width: int = 1) -> str:
+    """One ANSI port declaration line."""
+    if direction not in ("input", "output", "inout"):
+        raise HdlGenError(f"bad port direction {direction!r}")
+    check_identifier(name)
+    if width < 1:
+        raise HdlGenError(f"port {name}: width must be >= 1")
+    vector = "" if width == 1 else f"[{width - 1}:0] "
+    return f"{direction} wire {vector}{name}"
+
+
+def render_parameters(parameters: Dict[str, object]) -> str:
+    """Render a ``#(...)`` parameter block body."""
+    lines = []
+    for name, value in parameters.items():
+        check_identifier(name)
+        if isinstance(value, str):
+            rendered = f'"{value}"'
+        else:
+            rendered = str(value)
+        lines.append(f"    parameter {name} = {rendered}")
+    return ",\n".join(lines)
+
+
+def instantiate(
+    module: str,
+    instance: str,
+    parameters: Dict[str, object],
+    connections: Iterable[Tuple[str, str]],
+    indent: str = "  ",
+) -> str:
+    """Render one module instantiation."""
+    check_identifier(module)
+    check_identifier(instance)
+    lines: List[str] = [f"{indent}{module} #("]
+    params = []
+    for name, value in parameters.items():
+        check_identifier(name)
+        rendered = f'"{value}"' if isinstance(value, str) else str(value)
+        params.append(f"{indent}  .{name}({rendered})")
+    lines.append(",\n".join(params))
+    lines.append(f"{indent}) {instance} (")
+    ports = []
+    for port, signal in connections:
+        check_identifier(port)
+        ports.append(f"{indent}  .{port}({signal})")
+    lines.append(",\n".join(ports))
+    lines.append(f"{indent});")
+    return "\n".join(lines)
+
+
+def count_occurrences(source: str, token: str) -> int:
+    """Whole-word occurrence count (used by generator self-checks/tests)."""
+    return len(re.findall(rf"\b{re.escape(token)}\b", source))
+
+
+def balanced_blocks(source: str) -> bool:
+    """Cheap structural sanity: module/endmodule and begin/end balance."""
+    return (
+        count_occurrences(source, "module") == count_occurrences(source, "endmodule")
+        and count_occurrences(source, "begin") == count_occurrences(source, "end")
+        and count_occurrences(source, "case") == count_occurrences(source, "endcase")
+    )

@@ -1,0 +1,6 @@
+"""Off-chip memory substrate: DDR channel and streaming-bus models."""
+
+from repro.mem.bus import StreamBus
+from repro.mem.ddr import U250_SINGLE_CHANNEL, DdrChannel
+
+__all__ = ["DdrChannel", "StreamBus", "U250_SINGLE_CHANNEL"]

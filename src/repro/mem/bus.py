@@ -1,0 +1,46 @@
+"""Streaming-bus arithmetic shared by the CAM unit and the accelerators.
+
+A :class:`StreamBus` describes a fixed-width synchronous data bus (the
+512-bit AXI-stream style interface of the case study) and answers
+beat-count questions for word streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class StreamBus:
+    """A fixed-width streaming bus carrying fixed-width words."""
+
+    width_bits: int = 512
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.width_bits < 1:
+            raise ConfigError("bus width must be positive")
+        if not 1 <= self.word_bits <= self.width_bits:
+            raise ConfigError(
+                f"word width {self.word_bits} must be in 1..{self.width_bits}"
+            )
+
+    @property
+    def words_per_beat(self) -> int:
+        """Whole words carried per bus beat."""
+        return self.width_bits // self.word_bits
+
+    def beats_for_words(self, words: int) -> int:
+        """Beats needed to stream ``words`` words (ceiling)."""
+        if words < 0:
+            raise ConfigError("word count must be non-negative")
+        per_beat = self.words_per_beat
+        return -(-words // per_beat)
+
+    def bytes_for_words(self, words: int) -> int:
+        """Memory footprint of ``words`` words, in bytes."""
+        if words < 0:
+            raise ConfigError("word count must be non-negative")
+        return words * ((self.word_bits + 7) // 8)

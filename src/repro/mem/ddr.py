@@ -1,0 +1,88 @@
+"""DDR4 memory-channel model for the triangle-counting case study.
+
+The U250 exposes four DDR4-2400 72-bit channels; the paper constrains
+both the baseline and the CAM accelerator to a single channel, whose
+512-bit user interface runs at the kernel clock. The model answers the
+only questions the cycle-cost analysis asks: how many kernel cycles
+does a burst of N bytes occupy, and what is the random-access latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DdrChannel:
+    """One DDR channel as seen from the FPGA kernel.
+
+    Attributes
+    ----------
+    peak_bandwidth_gbps:
+        Peak transfer rate in gigabytes per second (19.2 for DDR4-2400
+        with a 64-bit data bus).
+    access_latency_ns:
+        Random-access (row activate + CAS) latency for the first beat
+        of a burst.
+    interface_bits:
+        Width of the user-side AXI data bus (512 on the U250 shell).
+    efficiency:
+        Sustained fraction of peak bandwidth for streaming bursts
+        (row-buffer hits, refresh overheads).
+    """
+
+    peak_bandwidth_gbps: float = 19.2
+    access_latency_ns: float = 60.0
+    interface_bits: int = 512
+    efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth_gbps <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if self.interface_bits <= 0 or self.interface_bits % 8:
+            raise ConfigError("interface width must be a positive byte multiple")
+        if not 0 < self.efficiency <= 1:
+            raise ConfigError("efficiency must be in (0, 1]")
+        if self.access_latency_ns < 0:
+            raise ConfigError("latency must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def interface_bytes(self) -> int:
+        """Bytes per interface beat."""
+        return self.interface_bits // 8
+
+    @property
+    def sustained_bandwidth_gbps(self) -> float:
+        return self.peak_bandwidth_gbps * self.efficiency
+
+    def beats_for_bytes(self, num_bytes: int) -> int:
+        """Interface beats needed to move ``num_bytes``."""
+        if num_bytes < 0:
+            raise ConfigError("byte count must be non-negative")
+        return -(-num_bytes // self.interface_bytes)
+
+    def stream_cycles(self, num_bytes: int, frequency_mhz: float) -> int:
+        """Kernel cycles a streaming burst occupies the channel.
+
+        The larger of the interface-beat count (the kernel cannot accept
+        more than one beat per cycle) and the DRAM-bandwidth bound.
+        """
+        if frequency_mhz <= 0:
+            raise ConfigError("frequency must be positive")
+        beats = self.beats_for_bytes(num_bytes)
+        seconds = num_bytes / (self.sustained_bandwidth_gbps * 1e9)
+        dram_cycles = int(seconds * frequency_mhz * 1e6 + 0.999999)
+        return max(beats, dram_cycles)
+
+    def random_access_cycles(self, frequency_mhz: float) -> int:
+        """Kernel cycles of first-beat latency for a random access."""
+        if frequency_mhz <= 0:
+            raise ConfigError("frequency must be positive")
+        return int(self.access_latency_ns * frequency_mhz / 1e3 + 0.999999)
+
+
+#: The paper's evaluation condition: one U250 DDR4 channel.
+U250_SINGLE_CHANNEL = DdrChannel()

@@ -1,0 +1,64 @@
+"""Clock-domain arithmetic: cycles <-> wall-clock time at a frequency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A named clock with a frequency, for cycle/time conversions.
+
+    The CAM benches count cycles in the simulator and convert them to
+    latency or throughput figures using the fabric timing model's
+    frequency estimate for the configuration under test.
+    """
+
+    name: str
+    frequency_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_mhz <= 0:
+            raise SimulationError(
+                f"clock {self.name!r}: frequency must be positive, got "
+                f"{self.frequency_mhz}"
+            )
+
+    @property
+    def period_ns(self) -> float:
+        """Clock period in nanoseconds."""
+        return 1e3 / self.frequency_mhz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert a cycle count to nanoseconds."""
+        return cycles * self.period_ns
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds."""
+        return self.cycles_to_ns(cycles) / 1e3
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds."""
+        return self.cycles_to_ns(cycles) / 1e6
+
+    def ns_to_cycles(self, nanoseconds: float) -> int:
+        """Ceiling number of cycles covering ``nanoseconds``."""
+        if nanoseconds < 0:
+            raise SimulationError("time must be non-negative")
+        period = self.period_ns
+        full = int(nanoseconds // period)
+        return full if full * period >= nanoseconds else full + 1
+
+    def ops_per_second(self, ops_per_cycle: float) -> float:
+        """Throughput in operations/second given per-cycle issue rate."""
+        return ops_per_cycle * self.frequency_mhz * 1e6
+
+    def mops(self, ops_per_cycle: float) -> float:
+        """Throughput in mega-operations/second.
+
+        The paper's Tables VI and VIII report throughput in these units
+        (labelled op/s, e.g. ``4800`` for 16 words/cycle at 300 MHz).
+        """
+        return ops_per_cycle * self.frequency_mhz

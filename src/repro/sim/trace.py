@@ -1,0 +1,84 @@
+"""Lightweight signal tracing for the simulation kernel.
+
+The trace records ``(cycle, component, signal, value)`` events emitted by
+components via :meth:`repro.sim.Component.emit`. It is deliberately
+simple -- a list of events with query helpers and a text dump -- because
+the benches only need to count cycles between stimulus and response, not
+render full waveforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single traced signal sample."""
+
+    cycle: int
+    component: str
+    signal: str
+    value: object
+
+
+class Trace:
+    """In-memory event trace with simple query helpers."""
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        self._events: List[TraceEvent] = []
+        self._cycle = 0
+        self._limit = limit
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Mark the start of a simulation cycle (called by the driver)."""
+        self._cycle = cycle
+
+    def record(self, component: str, signals: Dict[str, object]) -> None:
+        """Append one event per named signal for the current cycle."""
+        for signal, value in signals.items():
+            if self._limit is not None and len(self._events) >= self._limit:
+                return
+            self._events.append(
+                TraceEvent(self._cycle, component, signal, value)
+            )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(
+        self,
+        component: Optional[str] = None,
+        signal: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Return events filtered by component and/or signal name."""
+        out = []
+        for event in self._events:
+            if component is not None and event.component != component:
+                continue
+            if signal is not None and event.signal != signal:
+                continue
+            out.append(event)
+        return out
+
+    def first_cycle(self, component: str, signal: str, value: object) -> Optional[int]:
+        """Cycle of the first event matching ``value``, or ``None``."""
+        for event in self.events(component, signal):
+            if event.value == value:
+                return event.cycle
+        return None
+
+    def to_text(self) -> str:
+        """Render the trace as aligned text, one event per line."""
+        lines = ["cycle  component                     signal           value"]
+        for event in self._events:
+            lines.append(
+                f"{event.cycle:5d}  {event.component:<28}  "
+                f"{event.signal:<15}  {event.value!r}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Unit tests for the TCAM packet classifier."""
+
+import pytest
+
+from repro.apps.packet import Packet, PacketClassifier, Rule, compile_rule
+from repro.errors import CapacityError, ConfigError
+
+
+@pytest.fixture(scope="module")
+def classifier():
+    acl = PacketClassifier(capacity=128, block_size=64)
+    acl.add_rule(Rule("block-telnet", "deny", protocol=6, port_range=(23, 23)))
+    acl.add_rule(Rule("web", "allow", protocol=6, port_range=(80, 443)))
+    acl.add_rule(Rule("dns", "allow", protocol=17, port_range=(53, 53)))
+    acl.add_rule(Rule("from-dmz", "allow", src_tag=7))
+    acl.add_rule(Rule("default", "deny"))
+    return acl
+
+
+def packet(protocol=6, src=1, dst=2, port=80):
+    return Packet(protocol=protocol, src_tag=src, dst_tag=dst, dst_port=port)
+
+
+def test_priority_order(classifier):
+    assert classifier.classify(packet(port=23)).name == "block-telnet"
+    assert classifier.classify(packet(port=100)).name == "web"
+    assert classifier.classify(packet(protocol=17, port=53)).name == "dns"
+    assert classifier.classify(packet(protocol=17, port=99)).name == "default"
+
+
+def test_wildcard_src(classifier):
+    # UDP from the DMZ on a random port: matches the src rule.
+    assert classifier.classify(
+        packet(protocol=17, src=7, port=9999)
+    ).name == "from-dmz"
+
+
+def test_batch_classification(classifier):
+    packets = [packet(port=23), packet(port=200), packet(protocol=1, port=1)]
+    rules = classifier.classify_batch(packets)
+    assert [rule.name for rule in rules] == ["block-telnet", "web", "default"]
+
+
+def test_port_range_expansion_cost():
+    # [80, 443] expands to multiple aligned chunks.
+    entries = compile_rule(Rule("web", "allow", port_range=(80, 443)))
+    assert len(entries) > 1
+    exact = compile_rule(Rule("ssh", "allow", port_range=(22, 22)))
+    assert len(exact) == 1
+
+
+def test_rule_validation():
+    with pytest.raises(ConfigError):
+        Rule("bad", "deny", protocol=300)
+    with pytest.raises(ConfigError):
+        Rule("bad", "deny", src_tag=1 << 12)
+    with pytest.raises(ConfigError):
+        Rule("bad", "deny", port_range=(10, 5))
+
+
+def test_capacity_enforced():
+    acl = PacketClassifier(capacity=64, block_size=64)
+    # Worst-case ranges eat many entries each.
+    with pytest.raises(CapacityError):
+        for index in range(40):
+            acl.add_rule(
+                Rule(f"r{index}", "allow", port_range=(1, 65534))
+            )
+
+
+def test_entry_bookkeeping(classifier):
+    assert classifier.entries_used >= classifier.num_rules
+    assert classifier.num_rules == 5
+
+
+def test_packet_key_layout():
+    p = Packet(protocol=0xAB, src_tag=0x123, dst_tag=0x456, dst_port=0xBEEF)
+    key = p.key()
+    assert (key >> 40) & 0xFF == 0xAB
+    assert (key >> 24) & 0xFFFF == 0xBEEF
+    assert (key >> 12) & 0xFFF == 0x123
+    assert key & 0xFFF == 0x456

@@ -1,0 +1,134 @@
+"""Unit + property tests for the database operators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.db import (
+    CamDistinct,
+    CamJoin,
+    model_distinct_cycles,
+    reference_join,
+)
+from repro.errors import CapacityError, ConfigError
+
+
+# ----------------------------------------------------------------------
+# join
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def join_engine():
+    return CamJoin(total_entries=128, block_size=32)
+
+
+def test_join_basic(join_engine):
+    pairs, stats = join_engine.join([10, 20, 30], [20, 99, 10])
+    assert pairs == [(0, 1), (2, 0)]
+    assert stats.output_rows == 2
+    assert stats.passes == 1
+    assert stats.cycles > 0
+
+
+def test_join_duplicate_build_keys(join_engine):
+    """A duplicated build key joins every probe occurrence with every
+    build occurrence -- the match vector, not just the priority hit."""
+    pairs, _ = join_engine.join([5, 7, 5], [5])
+    assert pairs == [(0, 0), (0, 2)]
+
+
+def test_join_matches_reference(join_engine):
+    build = [1, 2, 3, 2, 9]
+    probe = [2, 9, 4, 1, 2]
+    pairs, _ = join_engine.join(build, probe)
+    assert sorted(pairs) == sorted(reference_join(build, probe))
+
+
+def test_join_tiling(join_engine):
+    """A build side bigger than the CAM joins across passes."""
+    build = list(range(300))  # capacity 128 -> 3 passes
+    probe = [0, 150, 299, 500]
+    pairs, stats = join_engine.join(build, probe)
+    assert stats.passes == 3
+    assert sorted(pairs) == sorted(reference_join(build, probe))
+
+
+def test_join_empty_probe(join_engine):
+    pairs, stats = join_engine.join([1, 2], [])
+    assert pairs == []
+    assert stats.probe_rows == 0
+
+
+def test_join_empty_build_rejected(join_engine):
+    with pytest.raises(ConfigError, match="build side"):
+        join_engine.join([], [1])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    build=st.lists(st.integers(0, 31), min_size=1, max_size=20),
+    probe=st.lists(st.integers(0, 31), min_size=0, max_size=15),
+)
+def test_join_property_equivalence(build, probe):
+    engine = CamJoin(total_entries=64, block_size=16)
+    pairs, _ = engine.join(build, probe)
+    assert sorted(pairs) == sorted(reference_join(build, probe))
+
+
+# ----------------------------------------------------------------------
+# distinct
+# ----------------------------------------------------------------------
+def test_distinct_first_seen_order():
+    engine = CamDistinct(total_entries=64, block_size=16)
+    unique, stats = engine.distinct([3, 1, 3, 2, 1, 1, 4])
+    assert unique == [3, 1, 2, 4]
+    assert stats.input_rows == 7
+    assert stats.unique_rows == 4
+    assert stats.cycles > 0
+
+
+def test_distinct_all_duplicates_cheap():
+    engine = CamDistinct(total_entries=64, block_size=16)
+    unique, stats = engine.distinct([9] * 20)
+    assert unique == [9]
+    # Only one insert paid; the rest are search-only.
+    assert stats.cycles < 20 * (engine.config.search_latency + 8)
+
+
+def test_distinct_capacity():
+    engine = CamDistinct(total_entries=64, block_size=16)
+    with pytest.raises(CapacityError):
+        engine.distinct(list(range(100)))
+
+
+def test_distinct_reset_reuses_engine():
+    engine = CamDistinct(total_entries=64, block_size=16)
+    engine.distinct([1, 2])
+    engine.reset()
+    unique, _ = engine.distinct([2, 2, 3])
+    assert unique == [2, 3]
+
+
+@settings(max_examples=15, deadline=None)
+@given(values=st.lists(st.integers(0, 40), min_size=0, max_size=30))
+def test_distinct_property_equivalence(values):
+    engine = CamDistinct(total_entries=64, block_size=16)
+    unique, stats = engine.distinct(values)
+    expected = list(dict.fromkeys(values))
+    assert unique == expected
+    assert stats.unique_rows == len(expected)
+
+
+def test_model_distinct_cycles():
+    assert model_distinct_cycles(100, 40, search_latency=7,
+                                 update_latency=6) == 100 * 7 + 40 * 6
+    assert model_distinct_cycles(0, 0, 7, 6) == 0
+
+
+def test_measured_cycles_track_model():
+    """The real engine's cycles land near the analytic model's."""
+    engine = CamDistinct(total_entries=64, block_size=16)
+    values = [i % 30 for i in range(60)]
+    _, stats = engine.distinct(values)
+    modelled = model_distinct_cycles(
+        60, 30, engine.config.search_latency, engine.config.update_latency
+    )
+    assert modelled * 0.8 < stats.cycles < modelled * 2.0

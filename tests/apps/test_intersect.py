@@ -1,0 +1,89 @@
+"""Unit tests for the set-intersection engines."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tc import CamIntersector, merge_intersect, numpy_intersect_count
+from repro.errors import CapacityError
+
+
+# ----------------------------------------------------------------------
+# merge engine
+# ----------------------------------------------------------------------
+def test_merge_intersect_basic():
+    common, steps = merge_intersect([1, 3, 5, 7], [3, 4, 5, 6])
+    assert common == 2
+    assert steps <= 8  # O(n + m)
+
+
+def test_merge_intersect_disjoint_and_empty():
+    assert merge_intersect([1, 2], [3, 4])[0] == 0
+    assert merge_intersect([], [1, 2])[0] == 0
+    assert merge_intersect([], [])[0] == 0
+
+
+def test_merge_intersect_identical():
+    common, steps = merge_intersect([1, 2, 3], [1, 2, 3])
+    assert common == 3
+    assert steps == 3
+
+
+def test_merge_steps_bounded_by_sum():
+    a = list(range(0, 40, 2))
+    b = list(range(1, 40, 2))
+    common, steps = merge_intersect(a, b)
+    assert common == 0
+    assert steps <= len(a) + len(b)
+
+
+# ----------------------------------------------------------------------
+# CAM engine (cycle-accurate)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def engine():
+    return CamIntersector(total_entries=256, block_size=64)
+
+
+def test_cam_intersect_matches_merge(engine):
+    list_a = [2, 4, 6, 8, 10, 12]
+    list_b = [3, 4, 10, 11]
+    expected, _ = merge_intersect(list_a, list_b)
+    got, cycles = engine.intersect(list_a, list_b)
+    assert got == expected == 2
+    assert cycles > 0
+
+
+def test_cam_intersect_random_agreement(engine):
+    rng = np.random.default_rng(5)
+    for _ in range(5):
+        a = np.unique(rng.integers(0, 300, size=40))
+        b = np.unique(rng.integers(0, 300, size=25))
+        got, _ = engine.intersect(a.tolist(), b.tolist())
+        assert got == numpy_intersect_count(a, b)
+
+
+def test_cam_intersect_empty(engine):
+    assert engine.intersect([], [1, 2]) == (0, 0)
+    assert engine.intersect([1, 2], []) == (0, 0)
+
+
+def test_cam_intersect_capacity(engine):
+    with pytest.raises(CapacityError, match="tile"):
+        engine.intersect(list(range(300)), [1])
+
+
+def test_groups_for_policy(engine):
+    # 4 blocks of 64: list <= 64 -> 1 block -> 4 groups.
+    assert engine.groups_for(10) == 4
+    assert engine.groups_for(64) == 4
+    # 65..128 -> 2 blocks -> 2 groups.
+    assert engine.groups_for(100) == 2
+    # >192 -> 4 blocks -> 1 group.
+    assert engine.groups_for(250) == 1
+
+
+def test_group_count_always_divides_blocks():
+    engine = CamIntersector(total_entries=768, block_size=128)  # 6 blocks
+    for longer_len in (1, 129, 300, 500, 700):
+        m = engine.groups_for(longer_len)
+        assert engine.num_blocks % m == 0

@@ -1,0 +1,89 @@
+"""Unit tests for the TCAM-backed LPM router."""
+
+import pytest
+
+from repro.apps.packet import LpmRouter, parse_address, parse_prefix
+from repro.errors import CapacityError, ConfigError
+
+
+@pytest.fixture(scope="module")
+def router():
+    router = LpmRouter(capacity=128, block_size=64)
+    router.add_route("10.0.0.0/8", "core")
+    router.add_route("10.1.0.0/16", "edge")
+    router.add_route("10.1.2.0/24", "rack")
+    router.add_route("192.168.0.0/16", "lab")
+    router.add_route("0.0.0.0/0", "default")
+    router.compile()
+    return router
+
+
+def test_parse_prefix():
+    assert parse_prefix("10.0.0.0/8") == (10 << 24, 8)
+    assert parse_prefix((0, 0)) == (0, 0)
+    with pytest.raises(ConfigError, match="host bits"):
+        parse_prefix((1, 8))
+    with pytest.raises(ConfigError, match="length"):
+        parse_prefix((0, 40))
+
+
+def test_parse_address():
+    assert parse_address("1.2.3.4") == 0x01020304
+    assert parse_address(5) == 5
+    with pytest.raises(ConfigError):
+        parse_address(1 << 40)
+
+
+def test_longest_prefix_wins(router):
+    assert router.lookup("10.1.2.200").next_hop == "rack"
+    assert router.lookup("10.1.3.1").next_hop == "edge"
+    assert router.lookup("10.2.0.1").next_hop == "core"
+    assert router.lookup("192.168.40.1").next_hop == "lab"
+    assert router.lookup("8.8.8.8").next_hop == "default"
+
+
+def test_lookup_batch_order(router):
+    routes = router.lookup_batch(["10.1.2.1", "8.8.8.8", "10.1.9.9"])
+    assert [route.next_hop for route in routes] == ["rack", "default", "edge"]
+
+
+def test_lookup_cycles_is_search_latency(router):
+    assert router.lookup_cycles == router.session.unit.search_latency
+
+
+def test_no_default_route_misses():
+    router = LpmRouter(capacity=64, block_size=64)
+    router.add_route("10.0.0.0/8", "only")
+    router.compile()
+    assert router.lookup("11.0.0.1") is None
+
+
+def test_compile_required():
+    router = LpmRouter(capacity=64, block_size=64)
+    router.add_route("10.0.0.0/8", "x")
+    with pytest.raises(ConfigError, match="not compiled"):
+        router.lookup("10.0.0.1")
+
+
+def test_recompile_after_adding_route():
+    router = LpmRouter(capacity=64, block_size=64)
+    router.add_route("0.0.0.0/0", "default")
+    router.compile()
+    assert router.lookup("10.9.0.1").next_hop == "default"
+    router.add_route("10.9.0.0/16", "specific")
+    router.compile()
+    assert router.lookup("10.9.0.1").next_hop == "specific"
+
+
+def test_capacity_enforced():
+    router = LpmRouter(capacity=64, block_size=64)
+    for index in range(65):
+        router.add_route((index << 16, 16), f"hop{index}")
+    with pytest.raises(CapacityError):
+        router.compile()
+
+
+def test_route_cidr_rendering():
+    router = LpmRouter(capacity=64, block_size=64)
+    route = router.add_route("10.1.0.0/16", "x")
+    assert route.cidr == "10.1.0.0/16"

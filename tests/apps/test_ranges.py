@@ -1,0 +1,78 @@
+"""Unit tests + properties for TCAM range expansion."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.packet import expand_range, expansion_cost, range_entries
+from repro.errors import MaskError
+
+
+def covered(chunks):
+    out = set()
+    for start, end in chunks:
+        out.update(range(start, end + 1))
+    return out
+
+
+def test_aligned_range_is_one_chunk():
+    assert expand_range(0, 15, 8) == [(0, 15)]
+    assert expand_range(16, 31, 8) == [(16, 31)]
+    assert expand_range(0, 255, 8) == [(0, 255)]
+
+
+def test_single_value():
+    assert expand_range(7, 7, 8) == [(7, 7)]
+
+
+def test_classic_worst_case():
+    # [1, 14] in 4 bits: the textbook 2W-2 = 6 chunk case.
+    chunks = expand_range(1, 14, 4)
+    assert len(chunks) == 6
+    assert covered(chunks) == set(range(1, 15))
+
+
+def test_chunks_are_aligned_powers_of_two():
+    for start, end in expand_range(5, 200, 8):
+        size = end - start + 1
+        assert size & (size - 1) == 0
+        assert start % size == 0
+
+
+def test_validation():
+    with pytest.raises(MaskError):
+        expand_range(5, 4, 8)
+    with pytest.raises(MaskError):
+        expand_range(-1, 4, 8)
+    with pytest.raises(MaskError):
+        expand_range(0, 256, 8)
+
+
+def test_range_entries_match_exactly():
+    entries = range_entries(20, 99, 8)
+    for key in range(256):
+        expected = 20 <= key <= 99
+        assert any(entry.matches(key) for entry in entries) == expected
+
+
+def test_expansion_cost():
+    assert expansion_cost(0, 255, 8) == 1
+    assert expansion_cost(1, 14, 4) == 6
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data())
+def test_expansion_exact_cover_property(data):
+    """Chunks exactly tile the range: complete, disjoint, and within
+    the 2W - 2 worst-case bound."""
+    width = data.draw(st.integers(min_value=2, max_value=10), label="width")
+    top = (1 << width) - 1
+    start = data.draw(st.integers(min_value=0, max_value=top), label="start")
+    end = data.draw(st.integers(min_value=start, max_value=top), label="end")
+    chunks = expand_range(start, end, width)
+    # Complete and disjoint cover.
+    total = sum(end_ - start_ + 1 for start_, end_ in chunks)
+    assert total == end - start + 1
+    assert covered(chunks) == set(range(start, end + 1))
+    # Chunks in ascending order, worst-case bound respected.
+    assert chunks == sorted(chunks)
+    assert len(chunks) <= 2 * width - 2 or len(chunks) == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the triangle-counting cost models."""
+
+import pytest
+
+from repro.apps.tc import CamTriangleCounter, MergeTriangleCounter
+from repro.graph import CSRGraph, power_law, road_network
+
+
+def star(leaves=64):
+    return CSRGraph.from_edges([(0, i) for i in range(1, leaves + 1)])
+
+
+# ----------------------------------------------------------------------
+# baseline model
+# ----------------------------------------------------------------------
+def test_merge_cost_empty_graph():
+    cost = MergeTriangleCounter().cost(CSRGraph.from_edges([], num_vertices=4))
+    assert cost.total_cycles == 0
+    assert cost.time_ms == 0
+
+
+def test_merge_cost_scales_with_list_sums():
+    small = MergeTriangleCounter().cost(star(16))
+    big = MergeTriangleCounter().cost(star(64))
+    # Star edges each merge against the hub list: cost ~ leaves^2.
+    assert big.total_cycles > 3 * small.total_cycles
+
+
+def test_merge_per_edge_includes_overhead():
+    model = MergeTriangleCounter(edge_overhead_cycles=10)
+    cost = model.cost(star(8))
+    assert cost.per_edge_mean >= 10
+
+
+def test_merge_time_uses_frequency():
+    model = MergeTriangleCounter(frequency_mhz=300.0)
+    cost = model.cost(star(32))
+    assert cost.time_ms == pytest.approx(cost.total_cycles / 300e3)
+
+
+# ----------------------------------------------------------------------
+# CAM model
+# ----------------------------------------------------------------------
+def test_cam_cost_empty_graph():
+    cost = CamTriangleCounter().cost(CSRGraph.from_edges([], num_vertices=4))
+    assert cost.total_cycles == 0
+
+
+def test_cam_beats_merge_on_hub_graph():
+    """A star is the CAM's best case: long hub list loads at 16
+    words/cycle instead of merging element by element."""
+    graph = star(1024)
+    cam = CamTriangleCounter().cost(graph)
+    merge = MergeTriangleCounter().cost(graph)
+    assert merge.total_cycles > 5 * cam.total_cycles
+
+
+def test_cam_advantage_small_on_road_like_graphs():
+    graph = road_network(3000, seed=1)
+    cam = CamTriangleCounter().cost(graph)
+    merge = MergeTriangleCounter().cost(graph)
+    ratio = merge.total_cycles / cam.total_cycles
+    assert 1.0 < ratio < 4.0
+
+
+def test_cam_tiles_oversized_lists():
+    """A hub list beyond 2048 entries forces multi-pass processing."""
+    graph = star(3000)
+    cost = CamTriangleCounter().cost(graph)
+    assert cost.tiled_edges == graph.num_edges
+    single = CamTriangleCounter().cost(star(2000))
+    assert single.tiled_edges == 0
+
+
+def test_cam_frequency_comes_from_config():
+    model = CamTriangleCounter()
+    assert model.frequency_mhz == 300.0  # 2048 entries, 32-bit
+
+
+def test_groups_lookup_divisors():
+    model = CamTriangleCounter()
+    lookup = model._groups_lookup()
+    num_blocks = model.config.num_blocks
+    for blocks_per_list in range(1, num_blocks + 1):
+        assert num_blocks % lookup[blocks_per_list] == 0
+        assert lookup[blocks_per_list] * blocks_per_list <= num_blocks * 2
+
+
+def test_more_overhead_costs_more():
+    graph = power_law(500, 2000, seed=2)
+    cheap = CamTriangleCounter(edge_overhead_cycles=2).cost(graph)
+    costly = CamTriangleCounter(edge_overhead_cycles=20).cost(graph)
+    assert costly.total_cycles > cheap.total_cycles

@@ -1,0 +1,119 @@
+"""Unit + property tests for the CAM-backed TLB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cache import CamTlb
+from repro.errors import ConfigError
+
+
+def make(entries=8):
+    return CamTlb(entries=entries, vpn_bits=20, block_size=16)
+
+
+def test_miss_then_hit():
+    tlb = make()
+    assert tlb.translate(0x100) is None
+    tlb.insert(0x100, 0x42)
+    assert tlb.translate(0x100) == 0x42
+    assert tlb.stats.hits == 1
+    assert tlb.stats.misses == 1
+
+
+def test_multiple_translations():
+    tlb = make()
+    mappings = {0x10: 1, 0x20: 2, 0x30: 3}
+    for vpn, frame in mappings.items():
+        tlb.insert(vpn, frame)
+    for vpn, frame in mappings.items():
+        assert tlb.translate(vpn) == frame
+
+
+def test_fifo_eviction():
+    tlb = make(entries=8)
+    for index in range(8):
+        tlb.insert(index, 100 + index)
+    assert tlb.full
+    tlb.insert(99, 199)  # evicts vpn 0
+    assert tlb.translate(0) is None
+    assert tlb.translate(99) == 199
+    assert tlb.translate(1) == 101
+    assert tlb.stats.evictions == 1
+
+
+def test_reinsert_updates_frame():
+    tlb = make()
+    tlb.insert(5, 50)
+    tlb.insert(5, 77)
+    assert tlb.translate(5) == 77
+    assert tlb.occupancy == 1
+    assert tlb.stats.evictions == 0  # replacement, not capacity eviction
+
+
+def test_compaction_reclaims_holes():
+    """Churn past the cell budget forces a compaction, after which all
+    live translations still resolve correctly."""
+    tlb = make(entries=8)
+    for index in range(30):
+        tlb.insert(index, 1000 + index)
+    assert tlb.stats.compactions >= 1
+    # Last 8 inserted pages are live (FIFO), earlier ones are gone.
+    for index in range(22, 30):
+        assert tlb.translate(index) == 1000 + index
+    assert tlb.translate(0) is None
+    assert tlb.occupancy == 8
+
+
+def test_flush():
+    tlb = make()
+    tlb.insert(1, 10)
+    tlb.flush()
+    assert tlb.translate(1) is None
+    assert tlb.occupancy == 0
+
+
+def test_stats_accounting():
+    tlb = make()
+    tlb.insert(1, 10)
+    tlb.translate(1)
+    tlb.translate(2)
+    stats = tlb.stats
+    assert stats.lookups == 2
+    assert stats.hit_rate == pytest.approx(0.5)
+    assert stats.insertions == 1
+    assert stats.cycles > 0
+
+
+def test_vpn_bits_validation():
+    with pytest.raises(ConfigError):
+        CamTlb(vpn_bits=0)
+    with pytest.raises(ConfigError):
+        CamTlb(vpn_bits=49)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    operations=st.lists(
+        st.tuples(st.sampled_from(["insert", "lookup"]),
+                  st.integers(0, 15)),
+        max_size=40,
+    )
+)
+def test_tlb_matches_fifo_dict_model(operations):
+    """Arbitrary insert/lookup streams agree with an OrderedDict model."""
+    from collections import OrderedDict
+
+    tlb = make(entries=4)
+    model: "OrderedDict[int, int]" = OrderedDict()
+    for op, vpn in operations:
+        if op == "insert":
+            frame = vpn * 7 + 1
+            if vpn in model:
+                del model[vpn]
+            elif len(model) >= 4:
+                model.popitem(last=False)
+            model[vpn] = frame
+            tlb.insert(vpn, frame)
+        else:
+            expected = model.get(vpn)
+            assert tlb.translate(vpn) == expected

@@ -1,0 +1,158 @@
+"""Unit tests for the four baseline CAM families."""
+
+import pytest
+
+from repro.baselines import (
+    BramCam,
+    DspCascadeCam,
+    LutRamCam,
+    RegisterCam,
+)
+from repro.core import binary_entry, ternary_entry
+from repro.errors import CapacityError, ConfigError
+
+ALL_FAMILIES = [RegisterCam, LutRamCam, BramCam, DspCascadeCam]
+
+
+def entries(values, width=16):
+    return [binary_entry(v, width) for v in values]
+
+
+# ----------------------------------------------------------------------
+# shared functional behaviour
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_update_search_roundtrip(family):
+    cam = family(32, 16)
+    cam.update(entries([100, 200, 300]))
+    assert cam.search(200).address == 1
+    assert not cam.search(400).hit
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_priority_is_insertion_order(family):
+    cam = family(32, 16)
+    cam.update(entries([7, 7, 7]))
+    result = cam.search(7)
+    assert result.address == 0
+    assert result.match_count == 3
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_overflow_raises(family):
+    cam = family(2, 16)
+    cam.update(entries([1, 2]))
+    with pytest.raises(CapacityError):
+        cam.update(entries([3]))
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_reset(family):
+    cam = family(16, 16)
+    cam.update(entries([5]))
+    cam.reset()
+    assert not cam.search(5).hit
+    cam.update(entries([6]))
+    assert cam.search(6).address == 0
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_ternary_entries(family):
+    cam = family(16, 16)
+    cam.update([ternary_entry(0xA0, 0x0F, 16)])
+    assert cam.search(0xA5).hit
+    assert not cam.search(0xB5).hit
+
+
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_search_many_and_describe(family):
+    cam = family(16, 16)
+    cam.update(entries([1, 2]))
+    results = cam.search_many([1, 2, 3])
+    assert [r.hit for r in results] == [True, True, False]
+    assert family.__name__ in cam.describe()
+
+
+# ----------------------------------------------------------------------
+# cost models
+# ----------------------------------------------------------------------
+def test_register_cam_cost_scaling():
+    small = RegisterCam(16, 32).cost()
+    big = RegisterCam(1024, 32).cost()
+    assert big.resources.lut > small.resources.lut
+    assert big.resources.ff == 1024 * 32
+    assert big.frequency_mhz < small.frequency_mhz
+    assert small.update_latency == 1 and small.search_latency == 2
+
+
+def test_lutram_cam_geometry_matches_frac_tcam():
+    """Frac-TCAM's published point: 1024 x 160 bits -> 16384 table LUTs."""
+    cam = LutRamCam(1024, 160, chunk_bits=5)
+    assert cam.num_chunks == 32
+    cost = cam.cost()
+    table_luts = 32 * 1024 * 32 // 64  # chunks x entries x rows / 64
+    assert table_luts == 16384
+    assert cost.resources.lut >= table_luts
+    assert cost.update_latency == 32 + 6  # rows + preprocessing
+    assert cost.search_latency == 2
+    assert cost.frequency_mhz == pytest.approx(357, abs=1)
+
+
+def test_lutram_update_latency_grows_with_chunk_bits():
+    narrow = LutRamCam(64, 16, chunk_bits=4).cost()
+    wide = LutRamCam(64, 16, chunk_bits=6).cost()
+    assert wide.update_latency > narrow.update_latency
+
+
+def test_lutram_chunk_bits_validation():
+    with pytest.raises(ConfigError):
+        LutRamCam(64, 16, chunk_bits=0)
+    with pytest.raises(ConfigError):
+        LutRamCam(64, 16, chunk_bits=10)
+
+
+def test_bram_cam_geometry_matches_hp_tcam():
+    """HP-TCAM's published point: 512 x 36 bits."""
+    cam = BramCam(512, 36)
+    cost = cam.cost()
+    assert cam.num_chunks == 4
+    assert cost.resources.bram == 4 * (512 // 36 + 1)  # ~60 vs paper's 56
+    assert cost.search_latency == 5
+    assert cost.update_latency == 513  # 512 rows + 1
+    assert cost.frequency_mhz == pytest.approx(118, abs=1)
+
+
+def test_bram_multipumping_cuts_update_latency():
+    plain = BramCam(512, 36, pump_factor=1).cost()
+    pumped = BramCam(512, 36, pump_factor=4).cost()
+    assert pumped.update_latency == 129  # 512/4 + 1, PUMP-CAM's figure
+    assert pumped.update_latency < plain.update_latency
+
+
+def test_bram_pump_factor_validation():
+    with pytest.raises(ConfigError):
+        BramCam(64, 16, pump_factor=0)
+
+
+def test_dsp_cascade_matches_preusser_point():
+    """Preusser et al.: ~1000 entries in 24 lanes -> 42-cycle search."""
+    cam = DspCascadeCam(1000, 24)
+    cost = cam.cost()
+    assert cam.chain_depth == 42
+    assert cost.search_latency == 44  # chain + head/merge
+    assert cost.update_latency == 2
+    assert cost.resources.dsp >= 1000
+    assert cost.frequency_mhz == pytest.approx(350)
+
+
+def test_dsp_cascade_validation():
+    with pytest.raises(ConfigError):
+        DspCascadeCam(64, 64)  # wider than a slice
+    with pytest.raises(ConfigError):
+        DspCascadeCam(64, 16, lanes=0)
+
+
+def test_dsp_cascade_latency_shrinks_with_lanes():
+    few = DspCascadeCam(960, 24, lanes=8).cost()
+    many = DspCascadeCam(960, 24, lanes=48).cost()
+    assert many.search_latency < few.search_latency

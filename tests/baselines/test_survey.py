@@ -1,0 +1,75 @@
+"""Unit tests for the Table I survey data and Figure 1 scores."""
+
+import pytest
+
+from repro.baselines import (
+    AXES,
+    LITERATURE,
+    characteristics,
+    full_survey,
+    ours_entry,
+)
+
+
+def test_literature_row_count_and_order():
+    assert len(LITERATURE) == 9
+    assert LITERATURE[0].name == "Scale-TCAM"
+    assert LITERATURE[-1].name == "Preusser et al."
+
+
+def test_literature_values_transcribed_exactly():
+    by_name = {entry.name: entry for entry in LITERATURE}
+    frac = by_name["Frac-TCAM"]
+    assert (frac.entries, frac.width) == (1024, 160)
+    assert frac.frequency_mhz == 357.0
+    assert frac.lut == 16_384
+    assert frac.update_latency == 38 and frac.search_latency is None
+    rest = by_name["REST-CAM"]
+    assert (rest.entries, rest.width) == (72, 28)
+    assert rest.update_latency == 513 and rest.search_latency == 5
+    assert rest.category == "Hybrid"
+    io_cam = by_name["IO-CAM"]
+    assert io_cam.bram == 2_112 and "Intel" in io_cam.platform
+
+
+def test_full_survey_appends_our_row():
+    rows = full_survey()
+    assert len(rows) == 10
+    assert rows[-1].name == "Ours"
+
+
+def test_ours_entry_is_model_derived():
+    ours = ours_entry()
+    assert ours.update_latency == 6
+    assert ours.search_latency == 8
+    assert ours.size_bits == 9728 * 48
+
+
+def test_characteristics_families():
+    scores = characteristics()
+    assert set(scores) == {"LUT", "BRAM", "Hybrid", "DSP (prior)", "Ours"}
+    for family_scores in scores.values():
+        assert set(family_scores) == set(AXES)
+        for value in family_scores.values():
+            assert 0.0 <= value <= 1.0
+
+
+def test_ours_scalability_is_best():
+    scores = characteristics()
+    best = max(s["scalability"] for s in scores.values())
+    assert scores["Ours"]["scalability"] == pytest.approx(best)
+
+
+def test_multi_query_unique_to_ours():
+    scores = characteristics()
+    assert scores["Ours"]["multi_query"] == 1.0
+    for family, family_scores in scores.items():
+        if family != "Ours":
+            assert family_scores["multi_query"] < 0.5
+
+
+def test_hybrid_integration_is_worst():
+    scores = characteristics()
+    assert scores["Hybrid"]["integration"] == min(
+        s["integration"] for s in scores.values()
+    )

@@ -1,0 +1,74 @@
+"""Unit tests for the exhibit generators (fast configurations only)."""
+
+from repro.bench import (
+    ALL_EXHIBITS,
+    fig01_characteristics,
+    table01_survey,
+    table05_cell,
+    table06_block,
+    table07_unit_scaling,
+    table08_unit_perf,
+    table09_triangle_counting,
+)
+
+
+def test_registry_covers_every_exhibit():
+    assert set(ALL_EXHIBITS) == {
+        "fig1", "table1", "table5", "table6", "table7", "table8", "table9"
+    }
+
+
+def test_fig01_table_shape():
+    table = fig01_characteristics()
+    assert table.headers[0] == "family"
+    assert len(table.rows) == 5
+    assert table.rows[-1][0] == "Ours"
+
+
+def test_table01_has_ten_rows():
+    table = table01_survey()
+    assert len(table.rows) == 10
+    assert table.rows[-1][0] == "Ours"
+    text = table.render()
+    assert "Frac-TCAM" in text
+    assert "9728 x 48 bits" in text
+
+
+def test_table05_rows():
+    table = table05_cell()
+    assert len(table.rows) == 3
+    for row in table.rows:
+        assert row[2] == 1 and row[3] == 2  # update, search
+
+
+def test_table06_small_sweep():
+    table = table06_block(sizes=(32, 64))
+    assert table.headers == ["metric", "32", "64"]
+    # 7 metrics x (measured + paper) rows.
+    assert len(table.rows) == 14
+    labels = [row[0] for row in table.rows]
+    assert "update latency (measured)" in labels
+    assert "frequency (MHz) (paper)" in labels
+
+
+def test_table07_small_sweep():
+    table = table07_unit_scaling(sizes=(512, 1024))
+    assert len(table.rows) == 2
+    measured_lut, paper_lut = table.rows[0][1], table.rows[0][2]
+    assert measured_lut == paper_lut == 2491
+
+
+def test_table08_small_sweep():
+    table = table08_unit_perf(sizes=(128, 512), block_size=128)
+    assert table.headers == ["metric", "128", "512"]
+    measured_update = table.rows[0]
+    assert measured_update[1:] == [6, 6]
+
+
+def test_table09_two_datasets():
+    table = table09_triangle_counting(
+        datasets=["roadNet-TX", "as20000102"], max_edges=10_000, seed=0
+    )
+    assert len(table.rows) == 3  # two datasets + average row
+    assert table.rows[-1][0] == "average"
+    assert table.rows[-1][-1] == 4.92

@@ -1,0 +1,44 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockConfig,
+    CamSession,
+    CamType,
+    CellConfig,
+    UnitConfig,
+    unit_for_entries,
+)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for randomised (but reproducible) tests."""
+    return np.random.default_rng(20250705)
+
+
+@pytest.fixture
+def small_block_config() -> BlockConfig:
+    """A 16-cell binary block with a 128-bit bus (4 words/beat)."""
+    return BlockConfig(
+        cell=CellConfig(cam_type=CamType.BINARY, data_width=32),
+        block_size=16,
+        bus_width=128,
+    )
+
+
+@pytest.fixture
+def small_unit_config() -> UnitConfig:
+    """A 64-entry unit: 4 blocks of 16, 2 groups, 32-bit data."""
+    return unit_for_entries(
+        64, block_size=16, data_width=32, bus_width=128, default_groups=2
+    )
+
+
+@pytest.fixture
+def small_session(small_unit_config) -> CamSession:
+    return CamSession(small_unit_config)

@@ -1,0 +1,103 @@
+"""Unit tests for the measured evaluation layer (section IV)."""
+
+import pytest
+
+from repro.core import (
+    CamType,
+    measure_block,
+    measure_cell,
+    measure_unit_performance,
+    our_survey_row,
+    unit_scaling,
+)
+
+
+# ----------------------------------------------------------------------
+# Table V
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("cam_type", list(CamType))
+def test_cell_report_matches_table_v(cam_type):
+    report = measure_cell(cam_type)
+    assert report.update_latency == 1
+    assert report.search_latency == 2
+    assert report.resources.dsp == 1
+    assert report.resources.lut == 0
+    assert report.resources.bram == 0
+
+
+def test_cell_report_is_width_independent():
+    assert measure_cell(CamType.BINARY, data_width=16).search_latency == 2
+
+
+# ----------------------------------------------------------------------
+# Table VI
+# ----------------------------------------------------------------------
+def test_block_report_small_sizes():
+    report = measure_block(32)
+    assert report.update_latency == 1
+    assert report.search_latency == 3
+    assert report.frequency_mhz == 300.0
+    assert report.resources.dsp == 32
+    assert report.update_throughput_mops == pytest.approx(3000)  # 10 words x 300
+
+
+def test_block_report_buffered_size():
+    report = measure_block(256)
+    assert report.search_latency == 4
+    assert report.update_latency == 1
+    assert report.search_throughput_mops == pytest.approx(300)
+
+
+def test_block_report_utilisations_small():
+    report = measure_block(64)
+    assert 0 < report.lut_utilisation < 0.001
+    assert 0 < report.dsp_utilisation < 0.01
+
+
+# ----------------------------------------------------------------------
+# Table VII
+# ----------------------------------------------------------------------
+def test_unit_scaling_max_config():
+    report = unit_scaling(9728)
+    assert report.luts == 45244
+    assert report.dsps == 9728
+    assert report.frequency_mhz == pytest.approx(235.0)
+    assert report.dsp_utilisation == pytest.approx(9728 / 12288)
+    assert report.lut_utilisation < 0.03
+
+
+def test_unit_scaling_small_config():
+    report = unit_scaling(512)
+    assert report.frequency_mhz == pytest.approx(300.0)
+    assert report.dsps == 512
+
+
+# ----------------------------------------------------------------------
+# Table VIII
+# ----------------------------------------------------------------------
+def test_unit_perf_small():
+    report = measure_unit_performance(128, block_size=64)
+    assert report.update_latency == 6
+    assert report.search_latency == 7
+    assert report.update_throughput_mops == pytest.approx(4800)
+    assert report.search_throughput_mops == pytest.approx(300)
+
+
+def test_unit_perf_latency_step_at_2k():
+    report = measure_unit_performance(2048, block_size=128)
+    assert report.search_latency == 8
+    assert report.update_latency == 6
+
+
+# ----------------------------------------------------------------------
+# Table I (our row)
+# ----------------------------------------------------------------------
+def test_our_survey_row_shape():
+    row = our_survey_row()
+    assert row["entries"] == 9728
+    assert row["width"] == 48
+    assert row["dsp"] == 9728
+    assert row["update_latency"] == 6
+    assert row["search_latency"] == 8
+    assert row["bram"] == 4
+    assert row["frequency_mhz"] == pytest.approx(235.0)

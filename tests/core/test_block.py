@@ -1,0 +1,235 @@
+"""Unit tests for the CAM block (figure 3, Table VI behaviour)."""
+
+import pytest
+
+from repro.core import (
+    BlockConfig,
+    CamBlock,
+    CamType,
+    CellConfig,
+    Encoding,
+    binary_entry,
+    ternary_entry,
+)
+from repro.errors import CapacityError, ConfigError
+from repro.sim import Simulator
+
+
+def make_block(block_size=16, data_width=32, bus_width=128, **kwargs):
+    config = BlockConfig(
+        cell=CellConfig(cam_type=kwargs.pop("cam_type", CamType.BINARY),
+                        data_width=data_width),
+        block_size=block_size,
+        bus_width=bus_width,
+        encoding=kwargs.pop("encoding", Encoding.PRIORITY),
+        output_buffer=kwargs.pop("output_buffer", None),
+    )
+    block = CamBlock(config, **kwargs)
+    return block, Simulator(block)
+
+
+def entries(values, width=32):
+    return [binary_entry(v, width) for v in values]
+
+
+def search_block(block, sim, key, budget=10):
+    block.issue_search(key)
+    sim.run_until(lambda: block.result_valid and block.result.key == key, budget)
+    return block.result
+
+
+# ----------------------------------------------------------------------
+# update path
+# ----------------------------------------------------------------------
+def test_single_cycle_parallel_update():
+    block, sim = make_block()
+    block.issue_update(entries([1, 2, 3, 4]))
+    sim.step()
+    assert block.occupancy == 4
+    assert [e.value for e in block.stored_entries()] == [1, 2, 3, 4]
+
+
+def test_update_done_pulses_once():
+    block, sim = make_block()
+    block.issue_update(entries([9]))
+    sim.step()
+    assert block.update_done
+    sim.step()
+    assert not block.update_done
+
+
+def test_sequential_fill_order():
+    block, sim = make_block()
+    block.issue_update(entries([1, 2]))
+    sim.step()
+    block.issue_update(entries([3]))
+    sim.step()
+    assert [e.value for e in block.stored_entries()] == [1, 2, 3]
+
+
+def test_update_beat_wider_than_bus_rejected():
+    block, sim = make_block(bus_width=64)  # 2 words/beat
+    block.issue_update(entries([1, 2, 3]))
+    with pytest.raises(CapacityError, match="bus fits"):
+        sim.step()
+
+
+def test_update_overflow_raises():
+    block, sim = make_block(block_size=4)
+    block.issue_update(entries([1, 2, 3, 4]))
+    sim.step()
+    block.issue_update(entries([5]))
+    with pytest.raises(CapacityError, match="overflows"):
+        sim.step()
+
+
+def test_empty_update_rejected():
+    block, sim = make_block()
+    block.issue_update([])
+    with pytest.raises(ConfigError, match="empty update"):
+        sim.step()
+
+
+def test_update_rejects_non_entries():
+    block, sim = make_block()
+    block.issue_update([42])
+    with pytest.raises(ConfigError, match="CamEntry"):
+        sim.step()
+
+
+# ----------------------------------------------------------------------
+# search path
+# ----------------------------------------------------------------------
+def test_search_latency_unbuffered_is_three():
+    block, sim = make_block(block_size=16)
+    block.issue_update(entries([7]))
+    sim.step()
+    block.issue_search(7)
+    latency = sim.run_until(lambda: block.result_valid, 10)
+    assert latency == 3
+    assert block.result.hit and block.result.address == 0
+
+
+def test_search_latency_buffered_is_four():
+    block, sim = make_block(block_size=16, output_buffer=True)
+    block.issue_update(entries([7]))
+    sim.step()
+    block.issue_search(7)
+    assert sim.run_until(lambda: block.result_valid, 10) == 4
+
+
+def test_large_block_buffers_automatically():
+    block, _ = make_block(block_size=256)
+    assert block.buffered
+    assert block.search_latency == 4
+
+
+def test_search_miss():
+    block, sim = make_block()
+    block.issue_update(entries([1, 2, 3]))
+    sim.step()
+    result = search_block(block, sim, 99)
+    assert not result.hit
+    assert result.address is None
+
+
+def test_search_priority_lowest_address():
+    block, sim = make_block(cam_type=CamType.TERNARY)
+    dup = ternary_entry(5, 0, 32)
+    block.issue_update([dup, dup, dup])
+    sim.step()
+    result = search_block(block, sim, 5)
+    assert result.address == 0
+    assert result.match_count == 3
+
+
+def test_search_pipelined_ii_one():
+    block, sim = make_block()
+    block.issue_update(entries(list(range(1, 5))))
+    sim.step()
+    block.issue_update(entries(list(range(5, 9))))
+    sim.step()
+    keys = [3, 99, 5, 1, 42]
+    got = []
+    for cycle in range(12):
+        if cycle < len(keys):
+            block.issue_search(keys[cycle])
+        sim.step()
+        if block.result_valid:
+            got.append((block.result.key, block.result.hit))
+    assert got == [(3, True), (99, False), (5, True), (1, True), (42, False)]
+
+
+def test_update_and_search_same_cycle():
+    """Figure 3: separate update/search paths into the cells."""
+    block, sim = make_block()
+    block.issue_update(entries([11]))
+    sim.step()
+    block.issue_update(entries([22]))
+    block.issue_search(11)
+    sim.step()
+    assert block.occupancy == 2
+    sim.run_until(lambda: block.result_valid, 5)
+    assert block.result.hit
+
+
+# ----------------------------------------------------------------------
+# reset
+# ----------------------------------------------------------------------
+def test_reset_clears_content():
+    block, sim = make_block()
+    block.issue_update(entries([1, 2]))
+    sim.step()
+    block.issue_reset()
+    sim.step()
+    assert block.occupancy == 0
+    result = search_block(block, sim, 1)
+    assert not result.hit
+
+
+def test_reset_collides_with_update():
+    block, sim = make_block()
+    block.issue_reset()
+    block.issue_update(entries([1]))
+    with pytest.raises(ConfigError, match="collide"):
+        sim.step()
+
+
+def test_refill_after_reset():
+    block, sim = make_block()
+    block.issue_update(entries([1]))
+    sim.step()
+    block.issue_reset()
+    sim.step()
+    block.issue_update(entries([5]))
+    sim.step()
+    assert search_block(block, sim, 5).address == 0
+
+
+# ----------------------------------------------------------------------
+# bookkeeping
+# ----------------------------------------------------------------------
+def test_full_and_free_cells():
+    block, sim = make_block(block_size=4)
+    assert block.free_cells == 4 and not block.full
+    block.issue_update(entries([1, 2, 3, 4]))
+    sim.step()
+    assert block.full and block.free_cells == 0
+
+
+def test_resources_report():
+    block, _ = make_block(block_size=16, bus_width=512)
+    vec = block.resources()
+    assert vec.dsp == 16
+    assert vec.lut > 0
+    assert vec.bram == 0
+
+
+def test_encoding_schemes_through_block():
+    block, sim = make_block(encoding=Encoding.COUNT, cam_type=CamType.TERNARY)
+    dup = ternary_entry(9, 0, 32)
+    block.issue_update([dup, dup])
+    sim.step()
+    result = search_block(block, sim, 9)
+    assert result.encoding is Encoding.COUNT
+    assert block.encoder.bus_value(result) == 2

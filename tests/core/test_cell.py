@@ -1,0 +1,138 @@
+"""Unit tests for the DSP-backed CAM cell."""
+
+import pytest
+
+from repro.core import CamCell, CamType, binary_entry, range_entry, ternary_entry
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+
+def make_cell(cam_type=CamType.BINARY, width=32):
+    cell = CamCell(cam_type=cam_type, data_width=width)
+    return cell, Simulator(cell)
+
+
+def write(cell, sim, entry):
+    cell.write_enable = True
+    cell.write_entry = entry
+    sim.step()
+
+
+def search(cell, sim, key):
+    cell.search_key = key
+    sim.step(2)
+    return cell.match_now()
+
+
+def test_update_latency_one_cycle():
+    cell, sim = make_cell()
+    write(cell, sim, binary_entry(0xCAFE, 32))
+    assert cell.occupied
+    assert cell.stored_value == 0xCAFE
+
+
+def test_search_hit_and_miss():
+    cell, sim = make_cell()
+    write(cell, sim, binary_entry(1234, 32))
+    assert search(cell, sim, 1234)
+    assert not search(cell, sim, 1235)
+
+
+def test_empty_cell_never_matches():
+    cell, sim = make_cell()
+    assert not search(cell, sim, 0)
+    assert not search(cell, sim, 42)
+
+
+def test_overwrite_replaces_entry():
+    cell, sim = make_cell()
+    write(cell, sim, binary_entry(1, 32))
+    write(cell, sim, binary_entry(2, 32))
+    assert search(cell, sim, 2)
+    assert not search(cell, sim, 1)
+
+
+def test_clear_invalidates():
+    cell, sim = make_cell()
+    write(cell, sim, binary_entry(7, 32))
+    assert search(cell, sim, 7)
+    cell.clear = True
+    sim.step()
+    assert not cell.occupied
+    assert not search(cell, sim, 7)
+
+
+def test_ternary_entry_in_cell():
+    cell, sim = make_cell(CamType.TERNARY)
+    write(cell, sim, ternary_entry(0xAB00, 0x00FF, 32))
+    assert search(cell, sim, 0xAB42)
+    assert search(cell, sim, 0xABFF)
+    assert not search(cell, sim, 0xAC00)
+
+
+def test_range_entry_in_cell():
+    cell, sim = make_cell(CamType.RANGE)
+    write(cell, sim, range_entry(0x100, 0x1FF, 32))
+    assert search(cell, sim, 0x100)
+    assert search(cell, sim, 0x180)
+    assert not search(cell, sim, 0x200)
+
+
+def test_per_entry_mask_swaps_with_entry():
+    """A new entry's mask must replace the old one's."""
+    cell, sim = make_cell(CamType.TERNARY)
+    write(cell, sim, ternary_entry(0, 0xF, 32))  # low nibble don't-care
+    assert search(cell, sim, 0xF)
+    write(cell, sim, ternary_entry(0, 0, 32))  # exact zero now
+    assert not search(cell, sim, 0xF)
+    assert search(cell, sim, 0)
+
+
+def test_upper_bits_of_key_ignored():
+    cell, sim = make_cell(width=16)
+    write(cell, sim, binary_entry(0x1234, 16))
+    assert search(cell, sim, 0x1234 | (1 << 40))
+
+
+def test_write_without_entry_raises():
+    cell, sim = make_cell()
+    cell.write_enable = True
+    with pytest.raises(ConfigError, match="without an entry"):
+        sim.step()
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(ConfigError):
+        CamCell(data_width=0)
+    with pytest.raises(ConfigError):
+        CamCell(data_width=64)
+
+
+def test_stored_entry_view():
+    cell, sim = make_cell(CamType.TERNARY)
+    assert cell.stored_entry is None
+    entry = ternary_entry(5, 2, 32)
+    write(cell, sim, entry)
+    stored = cell.stored_entry
+    assert stored.value == 5
+    assert stored.mask == entry.mask
+
+
+def test_resources_are_one_dsp():
+    vec = CamCell.resources()
+    assert vec.dsp == 1
+    assert vec.lut == 0
+    assert vec.bram == 0
+
+
+def test_search_while_writing_same_cycle():
+    """The A/B write port and C compare port are independent."""
+    cell, sim = make_cell()
+    write(cell, sim, binary_entry(10, 32))
+    cell.search_key = 10
+    cell.write_enable = True
+    cell.write_entry = binary_entry(11, 32)
+    sim.step(2)
+    # The key was compared against whatever A:B held when the XOR ran;
+    # after the write, the new value must be searchable.
+    assert search(cell, sim, 11)

@@ -1,0 +1,145 @@
+"""Unit tests for the Table III configuration surface."""
+
+import pytest
+
+from repro.core import (
+    BlockConfig,
+    CamType,
+    CellConfig,
+    Encoding,
+    UnitConfig,
+    unit_for_entries,
+)
+from repro.errors import ConfigError
+
+
+# ----------------------------------------------------------------------
+# CellConfig
+# ----------------------------------------------------------------------
+def test_cell_defaults():
+    cell = CellConfig()
+    assert cell.cam_type is CamType.BINARY
+    assert cell.data_width == 32
+
+
+def test_cell_width_limits():
+    CellConfig(data_width=1)
+    CellConfig(data_width=48)
+    with pytest.raises(ConfigError, match="data width"):
+        CellConfig(data_width=0)
+    with pytest.raises(ConfigError, match="data width"):
+        CellConfig(data_width=49)
+
+
+def test_cell_type_validation():
+    with pytest.raises(ConfigError, match="cam_type"):
+        CellConfig(cam_type="binary")
+
+
+# ----------------------------------------------------------------------
+# BlockConfig
+# ----------------------------------------------------------------------
+def test_block_size_power_of_two():
+    with pytest.raises(ConfigError, match="power of two"):
+        BlockConfig(block_size=100)
+    with pytest.raises(ConfigError, match=">= 2"):
+        BlockConfig(block_size=1)
+
+
+def test_block_bus_width_check():
+    with pytest.raises(ConfigError, match="bus width"):
+        BlockConfig(cell=CellConfig(data_width=48), bus_width=32)
+
+
+def test_words_per_beat():
+    block = BlockConfig(cell=CellConfig(data_width=32), bus_width=512)
+    assert block.words_per_beat == 16
+    narrow = BlockConfig(cell=CellConfig(data_width=48), bus_width=64)
+    assert narrow.words_per_beat == 1
+
+
+def test_block_buffer_policy_follows_paper():
+    assert not BlockConfig(block_size=128).buffered
+    assert BlockConfig(block_size=256).buffered
+    assert BlockConfig(block_size=512).buffered
+    # Explicit override wins.
+    assert BlockConfig(block_size=512, output_buffer=False).buffered is False
+    assert BlockConfig(block_size=32, output_buffer=True).buffered is True
+
+
+def test_block_latencies_match_table_vi():
+    assert BlockConfig(block_size=128).search_latency == 3
+    assert BlockConfig(block_size=256).search_latency == 4
+    assert BlockConfig(block_size=128).update_latency == 1
+
+
+def test_buffered_in_unit_threshold():
+    block = BlockConfig(block_size=128)
+    assert not block.buffered_in_unit(512)
+    assert block.buffered_in_unit(2048)
+    assert block.buffered_in_unit(8192)
+
+
+def test_with_buffer_copy():
+    block = BlockConfig(block_size=128)
+    assert block.with_buffer(True).buffered
+    assert not block.buffered
+
+
+# ----------------------------------------------------------------------
+# UnitConfig
+# ----------------------------------------------------------------------
+def test_unit_totals():
+    unit = UnitConfig(block=BlockConfig(block_size=128), num_blocks=16)
+    assert unit.total_entries == 2048
+    assert unit.words_per_beat == 16
+
+
+def test_unit_group_divisibility():
+    with pytest.raises(ConfigError, match="divide"):
+        UnitConfig(num_blocks=6, default_groups=4)
+    unit = UnitConfig(num_blocks=6, default_groups=3)
+    assert unit.group_sizes(2) == 3
+    with pytest.raises(ConfigError, match="divisor"):
+        unit.group_sizes(4)
+
+
+def test_unit_bus_width_default_and_check():
+    unit = UnitConfig(block=BlockConfig(bus_width=256))
+    assert unit.unit_bus_width == 256
+    with pytest.raises(ConfigError, match="unit bus width"):
+        UnitConfig(block=BlockConfig(bus_width=512), bus_width=256)
+
+
+def test_unit_latencies_match_table_viii():
+    small = unit_for_entries(512, block_size=128, data_width=32)
+    large = unit_for_entries(2048, block_size=128, data_width=32)
+    assert small.update_latency == 6
+    assert small.search_latency == 7
+    assert large.update_latency == 6
+    assert large.search_latency == 8  # buffer engages at 2K entries
+
+
+def test_group_capacity():
+    unit = unit_for_entries(512, block_size=128, default_groups=2)
+    assert unit.group_capacity(2) == 256
+    assert unit.group_capacity(4) == 128
+
+
+def test_with_groups():
+    unit = unit_for_entries(512, block_size=128)
+    assert unit.with_groups(4).default_groups == 4
+    with pytest.raises(ConfigError):
+        unit.with_groups(3)
+
+
+def test_unit_for_entries_validation():
+    with pytest.raises(ConfigError, match="multiple"):
+        unit_for_entries(100, block_size=64)
+
+
+def test_unit_for_entries_table_vii_shape():
+    unit = unit_for_entries(9728, block_size=256, data_width=48)
+    assert unit.num_blocks == 38
+    assert unit.total_entries == 9728
+    assert unit.block_buffered

@@ -1,0 +1,114 @@
+"""Unit tests for the delete-by-content extension (DESIGN.md section 5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BlockConfig,
+    CamBlock,
+    CamSession,
+    CellConfig,
+    ReferenceCam,
+    binary_entry,
+    unit_for_entries,
+)
+from repro.sim import Simulator
+
+
+def make_session():
+    return CamSession(unit_for_entries(
+        64, block_size=16, data_width=32, bus_width=128, default_groups=2
+    ))
+
+
+# ----------------------------------------------------------------------
+# block level
+# ----------------------------------------------------------------------
+def test_block_delete_invalidates_matches():
+    config = BlockConfig(cell=CellConfig(data_width=32), block_size=16,
+                         bus_width=128)
+    block = CamBlock(config)
+    sim = Simulator(block)
+    block.issue_update([binary_entry(v, 32) for v in (1, 2, 1)])
+    sim.step()
+    block.issue_delete(1)
+    sim.run_until(lambda: block.result_valid, 8)
+    assert block.result.match_count == 2
+    assert block.live_entries == 1
+    block.issue_search(1)
+    sim.step()  # consume the stale delete-result pulse
+    sim.run_until(lambda: block.result_valid, 8)
+    assert not block.result.hit
+
+
+def test_block_delete_miss_is_noop():
+    config = BlockConfig(cell=CellConfig(data_width=32), block_size=16,
+                         bus_width=128)
+    block = CamBlock(config)
+    sim = Simulator(block)
+    block.issue_update([binary_entry(5, 32)])
+    sim.step()
+    block.issue_delete(99)
+    sim.run_until(lambda: block.result_valid, 8)
+    assert not block.result.hit
+    assert block.live_entries == 1
+
+
+# ----------------------------------------------------------------------
+# unit / session level
+# ----------------------------------------------------------------------
+def test_session_delete_reports_matches():
+    session = make_session()
+    session.update([1, 2, 3, 2])
+    result = session.delete(2)
+    assert result.hit and result.match_count == 2
+    assert not session.contains(2)
+    assert session.contains(1) and session.contains(3)
+
+
+def test_delete_applies_to_every_replica():
+    session = make_session()
+    session.update([7])
+    session.delete(7)
+    # Both groups must miss.
+    results = session.search([7, 7])
+    assert not results[0].hit and not results[1].hit
+
+
+def test_deleted_addresses_not_reused():
+    """Invalidation leaves holes; surviving addresses are stable."""
+    session = make_session()
+    session.update([10, 20, 30])
+    session.delete(20)
+    assert session.search_one(30).address == 2
+    session.update([40])
+    assert session.search_one(40).address == 3
+
+
+def test_delete_then_reset_reclaims_space():
+    session = make_session()
+    session.update(list(range(32)))  # fills each group
+    session.delete(5)
+    session.reset()
+    session.update(list(range(32)))  # fits again after reset
+    assert session.contains(5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    stored=st.lists(st.integers(0, 255), min_size=1, max_size=20),
+    doomed=st.integers(0, 255),
+    probes=st.lists(st.integers(0, 255), min_size=1, max_size=8),
+)
+def test_delete_matches_reference_model(stored, doomed, probes):
+    session = make_session()
+    reference = ReferenceCam(32)
+    entries = [binary_entry(v, 32) for v in stored]
+    session.update(entries)
+    reference.update(entries)
+    hw_deleted = session.delete(doomed)
+    gold_deleted = reference.delete(doomed)
+    assert hw_deleted.match_vector == gold_deleted.match_vector
+    for probe in probes:
+        assert session.search_one(probe).match_vector == \
+            reference.search(probe).match_vector

@@ -1,0 +1,66 @@
+"""Unit tests for the block result encoders."""
+
+import pytest
+
+from repro.core import Encoding, ResultEncoder, pack_match_bits
+from repro.errors import ConfigError
+
+
+def test_pack_match_bits():
+    assert pack_match_bits([]) == 0
+    assert pack_match_bits([True, False, True]) == 0b101
+    assert pack_match_bits([False] * 8) == 0
+
+
+def test_encoder_validation():
+    with pytest.raises(ConfigError):
+        ResultEncoder("priority", 8)
+    with pytest.raises(ConfigError):
+        ResultEncoder(Encoding.PRIORITY, 0)
+
+
+def test_encode_checks_bit_count():
+    encoder = ResultEncoder(Encoding.PRIORITY, 4)
+    with pytest.raises(ConfigError, match="expected 4"):
+        encoder.encode(0, [True])
+
+
+def test_priority_encoding():
+    encoder = ResultEncoder(Encoding.PRIORITY, 8)
+    result = encoder.encode(42, [False, False, True, False, True, False, False, False])
+    assert result.hit and result.address == 2 and result.match_count == 2
+    assert encoder.bus_value(result) == (1 << 3) | 2
+
+
+def test_one_hot_encoding():
+    encoder = ResultEncoder(Encoding.ONE_HOT, 4)
+    result = encoder.encode(1, [True, False, False, True])
+    assert encoder.bus_value(result) == 0b1001
+
+
+def test_count_encoding():
+    encoder = ResultEncoder(Encoding.COUNT, 4)
+    result = encoder.encode(1, [True, True, True, False])
+    assert encoder.bus_value(result) == 3
+
+
+def test_binary_encoding_multi_flag():
+    encoder = ResultEncoder(Encoding.BINARY, 8)
+    single = encoder.encode(1, [False, True] + [False] * 6)
+    multi = encoder.encode(1, [True, True] + [False] * 6)
+    assert encoder.bus_value(single) == (1 << 3) | 1
+    assert encoder.bus_value(multi) == (1 << 4) | (1 << 3) | 0
+
+
+def test_output_width():
+    assert ResultEncoder(Encoding.ONE_HOT, 128).output_width == 128
+    assert ResultEncoder(Encoding.PRIORITY, 128).output_width == 8
+    assert ResultEncoder(Encoding.COUNT, 128).output_width == 8
+    assert ResultEncoder(Encoding.BINARY, 128).output_width == 9
+
+
+def test_miss_encodes_to_zero():
+    for encoding in Encoding:
+        encoder = ResultEncoder(encoding, 8)
+        result = encoder.encode(3, [False] * 8)
+        assert encoder.bus_value(result) == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the round-robin block address controller."""
+
+import pytest
+
+from repro.core import BlockAddressController
+from repro.errors import CapacityError, RoutingError
+
+
+def make(blocks=4, size=8):
+    return BlockAddressController(blocks_per_group=blocks, block_size=size)
+
+
+def test_validation():
+    with pytest.raises(RoutingError):
+        BlockAddressController(0, 8)
+    with pytest.raises(RoutingError):
+        BlockAddressController(4, 0)
+
+
+def test_capacity():
+    assert make(4, 8).capacity == 32
+
+
+def test_plan_fits_in_current_block():
+    ctrl = make()
+    plan = ctrl.plan(3, [8, 8, 8, 8])
+    assert plan.segments == ((0, 3),)
+    assert plan.new_cursor == 0  # block not full, cursor stays
+
+
+def test_plan_exactly_fills_block_advances_cursor():
+    ctrl = make()
+    plan = ctrl.plan(8, [8, 8, 8, 8])
+    assert plan.segments == ((0, 8),)
+    assert plan.new_cursor == 1
+
+
+def test_plan_splits_across_blocks():
+    ctrl = make()
+    plan = ctrl.plan(10, [8, 8, 8, 8])
+    assert plan.segments == ((0, 8), (1, 2))
+    assert plan.new_cursor == 1
+
+
+def test_plan_skips_full_blocks():
+    ctrl = make()
+    ctrl.cursor = 0
+    plan = ctrl.plan(2, [0, 0, 8, 8])
+    assert plan.segments == ((2, 2),)
+
+
+def test_plan_does_not_mutate_until_commit():
+    ctrl = make()
+    plan = ctrl.plan(8, [8, 8, 8, 8])
+    assert ctrl.cursor == 0
+    ctrl.commit(plan)
+    assert ctrl.cursor == 1
+
+
+def test_round_robin_wraps():
+    ctrl = make(2, 4)
+    plan = ctrl.plan(4, [1, 4])  # only 1 free in block 0
+    # cursor at 0: take 1, advance, take 3 from block 1.
+    assert plan.segments == ((0, 1), (1, 3))
+
+
+def test_overflow_raises():
+    ctrl = make(2, 4)
+    with pytest.raises(CapacityError, match="full"):
+        ctrl.plan(9, [4, 4])
+    with pytest.raises(CapacityError):
+        ctrl.plan(1, [0, 0])
+
+
+def test_plan_argument_validation():
+    ctrl = make()
+    with pytest.raises(RoutingError, match="allocate"):
+        ctrl.plan(0, [8, 8, 8, 8])
+    with pytest.raises(RoutingError, match="free counts"):
+        ctrl.plan(1, [8, 8])
+
+
+def test_reset():
+    ctrl = make()
+    ctrl.commit(ctrl.plan(8, [8, 8, 8, 8]))
+    assert ctrl.cursor == 1
+    ctrl.reset()
+    assert ctrl.cursor == 0
+
+
+def test_sequence_of_beats_is_dense():
+    """Simulated fill: beats of 3 into 2 blocks of 4 never leave holes."""
+    ctrl = make(2, 4)
+    free = [4, 4]
+    written = []
+    for _ in range(2):
+        plan = ctrl.plan(3, free)
+        for slot, count in plan.segments:
+            written.append((slot, count))
+            free[slot] -= count
+        ctrl.commit(plan)
+    assert sum(count for _, count in written) == 6
+    assert free == [0, 2]

@@ -1,0 +1,113 @@
+"""Deeper coverage of the independent-CAM group mode (extension).
+
+In independent mode the unit's groups are separate logical CAMs:
+updates name a target group, searches pair each key with a distinct
+group, and content never crosses group boundaries -- a multi-tenant
+arrangement (e.g. one flow table per port).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import CamSession, ReferenceCam, binary_entry, unit_for_entries
+from repro.errors import CapacityError, RoutingError
+
+
+def make_session(groups=4):
+    config = replace(
+        unit_for_entries(64, block_size=16, data_width=16, bus_width=64,
+                         default_groups=groups),
+        replicate_updates=False,
+    )
+    return CamSession(config)
+
+
+def test_tenants_are_fully_isolated():
+    session = make_session()
+    for group in range(4):
+        session.update([binary_entry(100 + group, 16)], group=group)
+    for group in range(4):
+        result = session.search([100 + group], groups=[group])[0]
+        assert result.hit and result.address == 0
+        for other in range(4):
+            if other == group:
+                continue
+            assert not session.search([100 + group], groups=[other])[0].hit
+
+
+def test_per_group_capacity_is_independent():
+    session = make_session(groups=4)  # 16 entries per group
+    session.update([binary_entry(v, 16) for v in range(16)], group=0)
+    with pytest.raises(CapacityError):
+        session.update([binary_entry(99, 16)], group=0)
+    # Other groups unaffected.
+    session.update([binary_entry(5, 16)], group=1)
+    assert session.search([5], groups=[1])[0].hit
+
+
+def test_addresses_are_group_local():
+    session = make_session(groups=2)
+    session.update([binary_entry(1, 16), binary_entry(2, 16)], group=0)
+    session.update([binary_entry(2, 16)], group=1)
+    assert session.search([2], groups=[0])[0].address == 1
+    assert session.search([2], groups=[1])[0].address == 0
+
+
+def test_concurrent_searches_across_tenants():
+    session = make_session(groups=4)
+    for group in range(4):
+        session.update([binary_entry(group * 10, 16)], group=group)
+    results = session.search([0, 10, 20, 30], groups=[0, 1, 2, 3])
+    assert all(result.hit for result in results)
+    crossed = session.search([0, 10, 20, 30], groups=[1, 2, 3, 0])
+    assert not any(result.hit for result in crossed)
+
+
+def test_each_tenant_matches_its_own_reference():
+    session = make_session(groups=2)
+    references = [ReferenceCam(32), ReferenceCam(32)]
+    workloads = {
+        0: [3, 7, 3, 9],
+        1: [7, 7, 1],
+    }
+    for group, values in workloads.items():
+        entries = [binary_entry(v, 16) for v in values]
+        session.update(entries, group=group)
+        references[group].update(entries)
+    for group in (0, 1):
+        for probe in (1, 3, 7, 9, 42):
+            hw = session.search([probe], groups=[group])[0]
+            gold = references[group].search(probe)
+            assert hw.match_vector == gold.match_vector, (group, probe)
+
+
+def test_reset_clears_every_tenant():
+    session = make_session(groups=2)
+    session.update([binary_entry(1, 16)], group=0)
+    session.update([binary_entry(2, 16)], group=1)
+    session.reset()
+    assert not session.search([1], groups=[0])[0].hit
+    assert not session.search([2], groups=[1])[0].hit
+
+
+def test_delete_by_content_spans_tenants():
+    """issue_delete broadcasts: the same content dies in every group.
+
+    (A per-tenant delete would need a group-targeted variant; the
+    broadcast semantics follow the replicated-mode design.)
+    """
+    session = make_session(groups=2)
+    session.update([binary_entry(5, 16)], group=0)
+    session.update([binary_entry(5, 16)], group=1)
+    session.delete(5)
+    assert not session.search([5], groups=[0])[0].hit
+    assert not session.search([5], groups=[1])[0].hit
+
+
+def test_group_argument_validation():
+    session = make_session(groups=2)
+    with pytest.raises(RoutingError):
+        session.update([binary_entry(1, 16)])  # group required
+    with pytest.raises(RoutingError):
+        session.update([binary_entry(1, 16)], group=2)

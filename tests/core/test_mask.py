@@ -1,0 +1,152 @@
+"""Unit tests for Table II mask semantics."""
+
+import pytest
+
+from repro.core import (
+    CamEntry,
+    CamType,
+    binary_entry,
+    entry_for,
+    range_entry,
+    ternary_entry,
+    ternary_entry_from_pattern,
+    width_mask,
+)
+from repro.dsp import DSP_WIDTH, mask_for
+from repro.errors import MaskError
+
+
+# ----------------------------------------------------------------------
+# width masking
+# ----------------------------------------------------------------------
+def test_width_mask_covers_unused_bits():
+    mask = width_mask(32)
+    assert mask == mask_for(DSP_WIDTH) ^ mask_for(32)
+    assert width_mask(48) == 0
+
+
+def test_width_mask_validation():
+    with pytest.raises(MaskError):
+        width_mask(0)
+    with pytest.raises(MaskError):
+        width_mask(49)
+
+
+# ----------------------------------------------------------------------
+# BCAM
+# ----------------------------------------------------------------------
+def test_binary_entry_exact_match_only():
+    entry = binary_entry(0xABCD, 16)
+    assert entry.matches(0xABCD)
+    assert not entry.matches(0xABCC)
+    assert not entry.matches(0)
+
+
+def test_binary_entry_ignores_upper_garbage():
+    """Bits above the data width must not affect matching (Table II)."""
+    entry = binary_entry(0xAB, 8)
+    assert entry.matches(0xAB | (1 << 20))
+
+
+def test_binary_entry_width_check():
+    with pytest.raises(Exception):
+        binary_entry(0x100, 8)
+
+
+# ----------------------------------------------------------------------
+# TCAM
+# ----------------------------------------------------------------------
+def test_ternary_entry_dont_care_bits():
+    entry = ternary_entry(0b1010_0000, 0b0000_1111, 8)
+    for low in range(16):
+        assert entry.matches(0b1010_0000 | low)
+    assert not entry.matches(0b1011_0000)
+
+
+def test_ternary_pattern_parsing():
+    entry = ternary_entry_from_pattern("10XX", 8)
+    assert entry.matches(0b1000)
+    assert entry.matches(0b1011)
+    assert not entry.matches(0b1100)
+
+
+def test_ternary_pattern_with_separators():
+    entry = ternary_entry_from_pattern("1010_XXXX", 8)
+    assert entry.matches(0b1010_0110)
+
+
+def test_ternary_pattern_validation():
+    with pytest.raises(MaskError, match="empty"):
+        ternary_entry_from_pattern("", 8)
+    with pytest.raises(MaskError, match="wider"):
+        ternary_entry_from_pattern("1" * 9, 8)
+    with pytest.raises(MaskError, match="invalid"):
+        ternary_entry_from_pattern("102", 8)
+
+
+def test_ternary_all_dont_care_matches_everything():
+    entry = ternary_entry_from_pattern("XXXX", 4)
+    for key in range(16):
+        assert entry.matches(key)
+
+
+# ----------------------------------------------------------------------
+# RMCAM
+# ----------------------------------------------------------------------
+def test_range_entry_inclusive_bounds():
+    entry = range_entry(0x40, 0x7F, 16)
+    assert entry.matches(0x40)
+    assert entry.matches(0x7F)
+    assert entry.matches(0x55)
+    assert not entry.matches(0x3F)
+    assert not entry.matches(0x80)
+
+
+def test_range_single_value():
+    entry = range_entry(5, 5, 8)
+    assert entry.matches(5)
+    assert not entry.matches(4)
+
+
+def test_range_entry_rejects_non_power_of_two_extent():
+    with pytest.raises(MaskError, match="not a power of two"):
+        range_entry(0, 2, 8)
+
+
+def test_range_entry_rejects_misaligned_start():
+    with pytest.raises(MaskError, match="not aligned"):
+        range_entry(4, 11, 8)
+
+
+def test_range_entry_rejects_inverted_bounds():
+    with pytest.raises(MaskError, match="below start"):
+        range_entry(8, 7, 8)
+
+
+def test_full_width_range():
+    entry = range_entry(0, 255, 8)
+    for key in (0, 17, 255):
+        assert entry.matches(key)
+
+
+# ----------------------------------------------------------------------
+# dispatch + care bits
+# ----------------------------------------------------------------------
+def test_entry_for_dispatch():
+    assert entry_for(CamType.BINARY, 8, 5).matches(5)
+    assert entry_for(CamType.TERNARY, 8, 4, 3).matches(7)
+    assert entry_for(CamType.RANGE, 8, 8, 15).matches(12)
+    with pytest.raises(MaskError):
+        entry_for("bogus", 8, 1)
+
+
+def test_care_bits():
+    entry = ternary_entry(0, 0b0011, 8)
+    assert entry.care_bits == 0b1111_1100
+
+
+def test_cam_entry_is_hashable_and_frozen():
+    entry = binary_entry(1, 8)
+    with pytest.raises(AttributeError):
+        entry.value = 2
+    assert entry == CamEntry(value=1, mask=width_mask(8), width=8)

@@ -1,0 +1,192 @@
+"""Property-based tests: the hardware model vs the golden reference.
+
+These are the heart of the functional verification: arbitrary update /
+search / reset interleavings must make the cycle-accurate CAM and the
+list-based :class:`ReferenceCam` agree bit-for-bit on hits, addresses,
+match counts and vectors, for all three CAM types.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import (
+    CamSession,
+    CamType,
+    ReferenceCam,
+    binary_entry,
+    range_entry,
+    ternary_entry,
+    unit_for_entries,
+)
+from repro.core.mask import CamEntry
+from repro.dsp import mask_for
+
+WIDTH = 16
+CAPACITY = 32  # per group: 2 blocks of 16
+
+_session_cache = {}
+
+
+def fresh_session(cam_type: CamType) -> CamSession:
+    """Build (or reuse and reset) a small two-group session."""
+    session = _session_cache.get(cam_type)
+    if session is None:
+        config = unit_for_entries(
+            64,
+            block_size=16,
+            data_width=WIDTH,
+            bus_width=64,
+            default_groups=2,
+            cam_type=cam_type,
+        )
+        session = CamSession(config)
+        _session_cache[cam_type] = session
+    else:
+        session.reset()
+    return session
+
+
+values = st.integers(min_value=0, max_value=mask_for(WIDTH))
+keys = st.integers(min_value=0, max_value=mask_for(WIDTH))
+
+
+@st.composite
+def ternary_entries(draw) -> CamEntry:
+    value = draw(values)
+    dont_care = draw(values)
+    return ternary_entry(value & ~dont_care & mask_for(WIDTH) | (value & ~dont_care),
+                         dont_care, WIDTH)
+
+
+@st.composite
+def range_entries(draw) -> CamEntry:
+    low_bits = draw(st.integers(min_value=0, max_value=WIDTH - 1))
+    extent = 1 << low_bits
+    base = draw(st.integers(min_value=0, max_value=(1 << WIDTH) // extent - 1))
+    start = base * extent
+    return range_entry(start, start + extent - 1, WIDTH)
+
+
+COMMON_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def assert_agrees(session: CamSession, reference: ReferenceCam, probes):
+    hw_results = session.search(probes)
+    for probe, hw in zip(probes, hw_results):
+        gold = reference.search(probe)
+        assert hw.hit == gold.hit, f"hit mismatch for key {probe:#x}"
+        assert hw.address == gold.address, f"address mismatch for {probe:#x}"
+        assert hw.match_count == gold.match_count
+        assert hw.match_vector == gold.match_vector
+
+
+@COMMON_SETTINGS
+@given(
+    stored=st.lists(values, min_size=1, max_size=CAPACITY),
+    probes=st.lists(keys, min_size=1, max_size=12),
+)
+def test_binary_cam_matches_reference(stored, probes):
+    session = fresh_session(CamType.BINARY)
+    reference = ReferenceCam(CAPACITY)
+    entries = [binary_entry(v, WIDTH) for v in stored]
+    session.update(entries)
+    reference.update(entries)
+    # Probe both stored values and arbitrary keys.
+    assert_agrees(session, reference, probes + stored[:4])
+
+
+@COMMON_SETTINGS
+@given(
+    stored=st.lists(ternary_entries(), min_size=1, max_size=CAPACITY),
+    probes=st.lists(keys, min_size=1, max_size=12),
+)
+def test_ternary_cam_matches_reference(stored, probes):
+    session = fresh_session(CamType.TERNARY)
+    reference = ReferenceCam(CAPACITY)
+    session.update(stored)
+    reference.update(stored)
+    assert_agrees(session, reference, probes)
+
+
+@COMMON_SETTINGS
+@given(
+    stored=st.lists(range_entries(), min_size=1, max_size=CAPACITY),
+    probes=st.lists(keys, min_size=1, max_size=12),
+)
+def test_range_cam_matches_reference(stored, probes):
+    session = fresh_session(CamType.RANGE)
+    reference = ReferenceCam(CAPACITY)
+    session.update(stored)
+    reference.update(stored)
+    assert_agrees(session, reference, probes)
+
+
+@COMMON_SETTINGS
+@given(
+    batches=st.lists(
+        st.lists(values, min_size=1, max_size=8), min_size=1, max_size=4
+    ),
+    probes=st.lists(keys, min_size=1, max_size=8),
+)
+def test_incremental_updates_match_reference(batches, probes):
+    """Interleaved update batches preserve insertion-order addressing."""
+    session = fresh_session(CamType.BINARY)
+    reference = ReferenceCam(CAPACITY)
+    total = 0
+    for batch in batches:
+        batch = batch[: CAPACITY - total]
+        if not batch:
+            break
+        entries = [binary_entry(v, WIDTH) for v in batch]
+        session.update(entries)
+        reference.update(entries)
+        total += len(batch)
+    assert_agrees(session, reference, probes)
+
+
+@COMMON_SETTINGS
+@given(data=st.data())
+def test_reset_between_fills(data):
+    """Content from before a reset must never match after it."""
+    session = fresh_session(CamType.BINARY)
+    before = data.draw(st.lists(values, min_size=1, max_size=8), label="before")
+    after = data.draw(st.lists(values, min_size=1, max_size=8), label="after")
+    session.update([binary_entry(v, WIDTH) for v in before])
+    session.reset()
+    reference = ReferenceCam(CAPACITY)
+    entries = [binary_entry(v, WIDTH) for v in after]
+    session.update(entries)
+    reference.update(entries)
+    assert_agrees(session, reference, list(set(before) | set(after)))
+
+
+@COMMON_SETTINGS
+@given(
+    stored=st.lists(values, min_size=1, max_size=CAPACITY),
+    probe=keys,
+)
+def test_multi_query_replicas_agree(stored, probe):
+    """Both groups must give the identical answer for the same key."""
+    session = fresh_session(CamType.BINARY)
+    session.update([binary_entry(v, WIDTH) for v in stored])
+    first, second = session.search([probe, probe])
+    assert first.hit == second.hit
+    assert first.address == second.address
+    assert first.match_vector == second.match_vector
+
+
+@pytest.mark.parametrize("low_bits", range(0, WIDTH))
+def test_every_power_of_two_range_is_expressible(low_bits):
+    """Deterministic sweep of the RMCAM alignment restriction."""
+    extent = 1 << low_bits
+    entry = range_entry(0, extent - 1, WIDTH)
+    assert entry.matches(0)
+    assert entry.matches(extent - 1)
+    if extent < (1 << WIDTH):
+        assert not entry.matches(extent)

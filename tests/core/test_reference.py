@@ -1,0 +1,64 @@
+"""Unit tests for the golden reference CAM."""
+
+import pytest
+
+from repro.core import (
+    Encoding,
+    ReferenceCam,
+    binary_entry,
+    ternary_entry,
+)
+from repro.errors import CapacityError
+
+
+def test_capacity_validation():
+    with pytest.raises(CapacityError):
+        ReferenceCam(0)
+
+
+def test_priority_is_insertion_order():
+    cam = ReferenceCam(8)
+    cam.update([binary_entry(5, 32), binary_entry(5, 32)])
+    assert cam.first_match(5) == 0
+    assert cam.search(5).match_count == 2
+
+
+def test_miss():
+    cam = ReferenceCam(8)
+    cam.update([binary_entry(1, 32)])
+    result = cam.search(2)
+    assert not result.hit and result.address is None
+
+
+def test_overflow():
+    cam = ReferenceCam(2)
+    cam.update([binary_entry(1, 32), binary_entry(2, 32)])
+    assert cam.full
+    with pytest.raises(CapacityError, match="overflow"):
+        cam.update([binary_entry(3, 32)])
+
+
+def test_reset():
+    cam = ReferenceCam(4)
+    cam.update([binary_entry(1, 32)])
+    cam.reset()
+    assert cam.occupancy == 0
+    assert not cam.search(1).hit
+
+
+def test_ternary_semantics():
+    cam = ReferenceCam(4)
+    cam.update([ternary_entry(0b1000, 0b0111, 8)])
+    for key in range(0b1000, 0b10000):
+        assert cam.search(key).hit
+    assert not cam.search(0b0111).hit
+
+
+def test_search_many_and_entries():
+    cam = ReferenceCam(4, encoding=Encoding.COUNT)
+    entries = [binary_entry(v, 16) for v in (1, 2)]
+    cam.update(entries)
+    assert cam.entries() == entries
+    results = cam.search_many([1, 2, 3])
+    assert [r.hit for r in results] == [True, True, False]
+    assert results[0].encoding is Encoding.COUNT

@@ -1,0 +1,146 @@
+"""Unit tests for the transaction-level CamSession API."""
+
+import pytest
+
+from repro.core import (
+    CamSession,
+    CamType,
+    binary_entry,
+    range_entry,
+    ternary_entry_from_pattern,
+    unit_for_entries,
+)
+from repro.errors import CapacityError, ConfigError
+
+
+def make_session(entries=64, block_size=16, groups=2, width=32, bus=128,
+                 cam_type=CamType.BINARY):
+    return CamSession(unit_for_entries(
+        entries, block_size=block_size, data_width=width, bus_width=bus,
+        default_groups=groups, cam_type=cam_type,
+    ))
+
+
+def test_update_then_search_roundtrip():
+    session = make_session()
+    session.update([10, 20, 30])
+    results = session.search([20, 30, 40])
+    assert [(r.hit, r.address) for r in results] == [
+        (True, 1), (True, 2), (False, None)
+    ]
+
+
+def test_raw_ints_rejected_for_ternary():
+    session = make_session(cam_type=CamType.TERNARY)
+    with pytest.raises(ConfigError, match="raw integers"):
+        session.update([1, 2])
+
+
+def test_ternary_session():
+    session = make_session(cam_type=CamType.TERNARY)
+    session.update([ternary_entry_from_pattern("1010_XXXX", 32)])
+    assert session.contains(0b1010_0101)
+    assert not session.contains(0b1011_0000)
+
+
+def test_range_session():
+    session = make_session(cam_type=CamType.RANGE)
+    session.update([range_entry(64, 127, 32), range_entry(256, 511, 32)])
+    assert session.search_one(100).address == 0
+    assert session.search_one(300).address == 1
+    assert not session.contains(200)
+
+
+def test_multibeat_update_stats():
+    session = make_session()  # 4 words/beat
+    stats = session.update(list(range(10)))
+    assert stats.words == 10
+    assert stats.beats == 3
+    assert stats.cycles >= stats.beats + session.unit.update_latency - 1
+    assert session.occupancy == 10
+
+
+def test_search_stats_pipelined():
+    session = make_session(groups=2)
+    session.update(list(range(8)))
+    session.search(list(range(8)))
+    stats = session.last_search_stats
+    assert stats.keys == 8
+    assert stats.beats == 4
+    # 4 beats at II=1 plus the 7-cycle latency, with a little slack.
+    assert stats.cycles <= 4 + 7 + 2
+
+
+def test_search_results_in_key_order():
+    session = make_session(groups=2)
+    session.update(list(range(1, 6)))
+    keys = [5, 1, 99, 3, 2, 4, 77]
+    results = session.search(keys)
+    assert [r.key for r in results] == keys
+
+
+def test_capacity_error_propagates():
+    session = make_session(entries=64, block_size=16, groups=2)
+    session.update(list(range(32)))  # fills each 32-entry group
+    with pytest.raises(CapacityError):
+        session.update([99])
+
+
+def test_reset_clears():
+    session = make_session()
+    session.update([1, 2, 3])
+    session.reset()
+    assert session.occupancy == 0
+    assert not session.contains(1)
+
+
+def test_set_groups_reconfigures():
+    session = make_session(entries=64, block_size=16, groups=1)
+    assert session.capacity == 64
+    session.set_groups(4)
+    assert session.unit.num_groups == 4
+    assert session.capacity == 16
+    session.update([7])
+    results = session.search([7, 7, 7, 7])
+    assert all(r.hit for r in results)
+
+
+def test_empty_operations_rejected():
+    session = make_session()
+    with pytest.raises(ConfigError):
+        session.update([])
+    with pytest.raises(ConfigError):
+        session.search([])
+
+
+def test_cycle_counter_monotone():
+    session = make_session()
+    before = session.cycle
+    session.update([1])
+    mid = session.cycle
+    session.idle(5)
+    assert before < mid < session.cycle
+
+
+def test_trace_capture():
+    session = CamSession(
+        unit_for_entries(64, block_size=16, data_width=32, bus_width=128,
+                         default_groups=2),
+        trace=True,
+    )
+    session.update([5])
+    session.search([5])
+    assert session.trace is not None
+    assert len(session.trace) > 0
+
+
+def test_update_word_type_validation():
+    session = make_session()
+    with pytest.raises(ConfigError, match="int or CamEntry"):
+        session.update(["nope"])
+
+
+def test_entry_objects_accepted_for_binary():
+    session = make_session()
+    session.update([binary_entry(9, 32)])
+    assert session.contains(9)

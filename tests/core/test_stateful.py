@@ -1,0 +1,108 @@
+"""Model-based stateful testing: the CAM vs the golden reference.
+
+A hypothesis ``RuleBasedStateMachine`` drives an arbitrary interleaving
+of updates, searches, deletes and resets against both the
+cycle-accurate :class:`CamSession` and the list-backed
+:class:`ReferenceCam`, asserting bit-identical results after every
+step. This covers interaction sequences the example-based tests cannot
+enumerate: delete-then-refill, reset mid-stream, duplicate churn, and
+occupancy bookkeeping across all of it.
+"""
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import (
+    CamSession,
+    ReferenceCam,
+    binary_entry,
+    collect_stats,
+    unit_for_entries,
+)
+
+WIDTH = 12
+CAPACITY = 32  # per group: 2 blocks of 16
+
+values = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+
+
+class CamMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.session = CamSession(unit_for_entries(
+            64, block_size=16, data_width=WIDTH, bus_width=64,
+            default_groups=2,
+        ))
+        self.reference = ReferenceCam(CAPACITY)
+
+    # ------------------------------------------------------------------
+    @property
+    def free(self) -> int:
+        return CAPACITY - self.reference.occupancy
+
+    @precondition(lambda self: self.free > 0)
+    @rule(data=st.data())
+    def update(self, data):
+        batch = data.draw(
+            st.lists(values, min_size=1, max_size=min(4, self.free)),
+            label="batch",
+        )
+        entries = [binary_entry(v, WIDTH) for v in batch]
+        self.session.update(entries)
+        self.reference.update(entries)
+
+    @rule(key=values)
+    def search(self, key):
+        hw = self.session.search_one(key)
+        gold = self.reference.search(key)
+        assert hw.hit == gold.hit
+        assert hw.address == gold.address
+        assert hw.match_vector == gold.match_vector
+        assert hw.match_count == gold.match_count
+
+    @rule(key=values)
+    def delete(self, key):
+        hw = self.session.delete(key)
+        gold = self.reference.delete(key)
+        assert hw.match_vector == gold.match_vector
+
+    @rule()
+    def reset(self):
+        self.session.reset()
+        self.reference.reset()
+
+    @rule(keys=st.lists(values, min_size=2, max_size=2))
+    def multi_query(self, keys):
+        first, second = self.session.search(keys)
+        assert first.match_vector == self.reference.search(keys[0]).match_vector
+        assert second.match_vector == self.reference.search(keys[1]).match_vector
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def occupancy_consistent(self):
+        assert self.session.occupancy == self.reference.occupancy
+
+    @invariant()
+    def replicas_balanced(self):
+        stats = collect_stats(self.session.unit)
+        assert stats.balanced
+        assert stats.consumed_cells == 2 * self.reference.occupancy
+
+    @invariant()
+    def live_cells_match_reference(self):
+        stats = collect_stats(self.session.unit)
+        live_reference = sum(
+            1 for entry in self.reference.entries() if entry is not None
+        )
+        assert stats.live_cells == 2 * live_reference
+
+
+CamMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=20, deadline=None
+)
+TestCamMachine = CamMachine.TestCase

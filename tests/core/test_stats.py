@@ -1,0 +1,85 @@
+"""Unit tests for the occupancy introspection layer."""
+
+import pytest
+
+from repro.core import CamSession, collect_stats, unit_for_entries
+
+
+def make_session(groups=2):
+    return CamSession(unit_for_entries(
+        64, block_size=16, data_width=32, bus_width=128,
+        default_groups=groups,
+    ))
+
+
+def test_empty_unit_stats():
+    session = make_session()
+    stats = collect_stats(session.unit)
+    assert stats.total_cells == 64
+    assert stats.consumed_cells == 0
+    assert stats.live_cells == 0
+    assert stats.utilisation == 0.0
+    assert stats.balanced
+    assert len(stats.blocks) == 4
+
+
+def test_replicated_fill_is_balanced():
+    session = make_session(groups=2)
+    session.update(list(range(10)))
+    stats = collect_stats(session.unit)
+    assert stats.consumed_cells == 20  # 10 words x 2 replicas
+    assert stats.group_fill() == {0: 10, 1: 10}
+    assert stats.balanced
+
+
+def test_round_robin_shows_in_per_block_fill():
+    session = make_session(groups=2)
+    session.update(list(range(20)))  # spills into each group's 2nd block
+    stats = collect_stats(session.unit)
+    fills = {block.block_id: block.fill for block in stats.blocks}
+    assert fills[0] == 16 and fills[1] == 4  # group 0
+    assert fills[2] == 16 and fills[3] == 4  # group 1
+
+
+def test_holes_after_delete():
+    session = make_session()
+    session.update([1, 2, 3, 2])
+    session.delete(2)
+    stats = collect_stats(session.unit)
+    assert stats.holes == 4  # two matches x two replicas
+    assert stats.live_cells == stats.consumed_cells - 4
+    block0 = stats.blocks[0]
+    assert block0.holes == 2
+
+
+def test_block_utilisation():
+    session = make_session()
+    session.update(list(range(8)))
+    stats = collect_stats(session.unit)
+    assert stats.blocks[0].utilisation == pytest.approx(0.5)
+
+
+def test_render_report():
+    session = make_session()
+    session.update(list(range(5)))
+    session.delete(3)
+    text = collect_stats(session.unit).render()
+    assert "cells consumed" in text
+    assert "balanced" in text
+    assert "block   0" in text
+    assert "holes" in text
+
+
+def test_independent_mode_can_be_unbalanced():
+    from dataclasses import replace
+
+    config = replace(
+        unit_for_entries(64, block_size=16, data_width=32, bus_width=128,
+                         default_groups=2),
+        replicate_updates=False,
+    )
+    session = CamSession(config)
+    session.update([1, 2, 3], group=0)
+    stats = collect_stats(session.unit)
+    assert not stats.balanced
+    assert stats.group_fill() == {0: 3, 1: 0}

@@ -1,0 +1,83 @@
+"""Unit-level tests for non-default result encodings and overrides."""
+
+import pytest
+
+from repro.core import (
+    BlockConfig,
+    CamSession,
+    CamType,
+    CellConfig,
+    Encoding,
+    UnitConfig,
+    ternary_entry,
+)
+
+
+def make_session(encoding, groups=2, output_buffer=None):
+    block = BlockConfig(
+        cell=CellConfig(cam_type=CamType.TERNARY, data_width=16),
+        block_size=16,
+        bus_width=128,
+        encoding=encoding,
+        output_buffer=output_buffer,
+    )
+    config = UnitConfig(block=block, num_blocks=4, default_groups=groups)
+    return CamSession(config)
+
+
+def test_count_encoding_through_unit():
+    session = make_session(Encoding.COUNT)
+    dup = ternary_entry(9, 0, 16)
+    session.update([dup, dup, dup])
+    result = session.search_one(9)
+    assert result.encoding is Encoding.COUNT
+    assert result.match_count == 3
+    assert result.encoded(64) == 3
+
+
+def test_one_hot_encoding_through_unit():
+    session = make_session(Encoding.ONE_HOT)
+    entries = [ternary_entry(v, 0, 16) for v in (1, 2, 1)]
+    session.update(entries)
+    result = session.search_one(1)
+    assert result.match_vector == 0b101
+    assert result.encoded(64) == 0b101
+
+
+def test_binary_encoding_through_unit():
+    session = make_session(Encoding.BINARY)
+    dup = ternary_entry(4, 0, 16)
+    session.update([dup, dup])
+    result = session.search_one(4)
+    encoded = result.encoded(64)
+    address_bits = 6
+    assert encoded & (1 << address_bits)           # hit flag
+    assert encoded & (1 << (address_bits + 1))     # multi-match flag
+
+
+def test_explicit_buffer_override_changes_unit_latency():
+    buffered = make_session(Encoding.PRIORITY, output_buffer=True)
+    plain = make_session(Encoding.PRIORITY, output_buffer=False)
+    assert buffered.unit.search_latency == plain.unit.search_latency + 1
+    # Both still answer correctly.
+    for session in (buffered, plain):
+        session.update([ternary_entry(7, 0, 16)])
+        assert session.contains(7)
+
+
+def test_multi_query_count_results_are_per_group():
+    session = make_session(Encoding.COUNT, groups=2)
+    dup = ternary_entry(3, 0, 16)
+    session.update([dup, dup])
+    first, second = session.search([3, 3])
+    assert first.match_count == second.match_count == 2
+
+
+def test_wildcard_entries_count_across_blocks():
+    """Don't-care entries spilling into a second block still aggregate."""
+    session = make_session(Encoding.COUNT, groups=1)
+    # 20 wildcard entries: overflow block 0 (16 cells) into block 1.
+    wildcard = ternary_entry(0, 0xFFFF, 16)
+    session.update([wildcard] * 20)
+    result = session.search_one(0xABCD)
+    assert result.match_count == 20

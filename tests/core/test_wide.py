@@ -1,0 +1,108 @@
+"""Unit + property tests for the wide-word (multi-lane) CAM."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import WideCamSession, wide_binary, wide_ternary
+from repro.errors import ConfigError
+
+WIDTH = 96  # two 48-bit lanes
+
+
+def make(capacity=32, width=WIDTH):
+    return WideCamSession(capacity, width, block_size=16, bus_width=128)
+
+
+def test_narrow_width_rejected():
+    with pytest.raises(ConfigError, match="fits one DSP slice"):
+        WideCamSession(32, 48)
+
+
+def test_lane_decomposition():
+    cam = make(width=100)
+    assert cam.num_lanes == 3
+    assert cam._lane_widths == [48, 48, 4]
+
+
+def test_wide_roundtrip():
+    cam = make()
+    keys = [0xDEADBEEF_CAFEBABE_0042, 0x1, 1 << 95]
+    cam.update(keys)
+    for index, key in enumerate(keys):
+        result = cam.search_one(key)
+        assert result.hit and result.address == index
+    assert not cam.contains(0xDEADBEEF_CAFEBABE_0043)
+
+
+def test_partial_fragment_match_is_a_miss():
+    """Matching one lane but not the other must miss -- the AND merge."""
+    cam = make()
+    stored = (0xAAAA << 48) | 0x5555
+    cam.update([stored])
+    assert cam.contains(stored)
+    assert not cam.contains((0xAAAA << 48) | 0x5556)  # low lane differs
+    assert not cam.contains((0xAAAB << 48) | 0x5555)  # high lane differs
+
+
+def test_wide_ternary_dont_cares_cross_lanes():
+    cam = make()
+    # Don't-care bits straddling the lane boundary (bits 44..52).
+    dont_care = ((1 << 9) - 1) << 44
+    entry = wide_ternary(0, dont_care, WIDTH)
+    cam.update([entry])
+    assert cam.contains(0)
+    assert cam.contains(0b101 << 45)
+    assert not cam.contains(1 << 60)
+
+
+def test_duplicate_entries_match_count():
+    cam = make()
+    value = 0x1234_5678_9ABC_DEF0_1234
+    cam.update([wide_binary(value, WIDTH), wide_binary(value, WIDTH)])
+    result = cam.search_one(value)
+    assert result.match_count == 2
+    assert result.address == 0
+
+
+def test_entry_width_validation():
+    cam = make()
+    with pytest.raises(ConfigError, match="entry width"):
+        cam.update([wide_binary(1, 64)])
+    with pytest.raises(Exception):
+        cam.search([1 << WIDTH])
+
+
+def test_reset():
+    cam = make()
+    cam.update([42])
+    cam.reset()
+    assert not cam.contains(42)
+    assert cam.occupancy == 0
+
+
+def test_resources_scale_with_lanes():
+    cam = make()
+    vec = cam.resources()
+    assert vec.dsp == 2 * 32  # two lanes x capacity
+
+
+def test_latency_equals_single_lane():
+    cam = make()
+    assert cam.search_latency == cam.lanes[0].unit.search_latency
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    stored=st.lists(st.integers(0, (1 << WIDTH) - 1), min_size=1, max_size=8),
+    probes=st.lists(st.integers(0, (1 << WIDTH) - 1), min_size=1, max_size=4),
+)
+def test_wide_matches_plain_model(stored, probes):
+    cam = make()
+    cam.update(stored)
+    for probe in probes + stored[:2]:
+        expected_vector = 0
+        for address, value in enumerate(stored):
+            if value == probe:
+                expected_vector |= 1 << address
+        result = cam.search_one(probe)
+        assert result.match_vector == expected_vector

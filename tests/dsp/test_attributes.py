@@ -1,0 +1,57 @@
+"""Unit tests for DSP48E2 attribute validation."""
+
+import pytest
+
+from repro.dsp import Dsp48Attributes, cam_cell_attributes
+from repro.core import width_mask
+from repro.errors import ConfigError
+
+
+def test_defaults_are_valid():
+    attrs = Dsp48Attributes()
+    assert attrs.areg == 1
+    assert attrs.input_latency == 1
+    assert attrs.search_latency == 2
+
+
+def test_register_depth_limits():
+    Dsp48Attributes(areg=2, breg=2)
+    with pytest.raises(ConfigError, match="AREG"):
+        Dsp48Attributes(areg=3)
+    with pytest.raises(ConfigError, match="CREG"):
+        Dsp48Attributes(creg=2)
+    with pytest.raises(ConfigError, match="PREG"):
+        Dsp48Attributes(preg=-1)
+
+
+def test_pattern_mask_width_validation():
+    Dsp48Attributes(pattern=(1 << 48) - 1, mask=(1 << 48) - 1)
+    with pytest.raises(ConfigError, match="PATTERN"):
+        Dsp48Attributes(pattern=1 << 48)
+    with pytest.raises(ConfigError, match="MASK"):
+        Dsp48Attributes(mask=1 << 48)
+
+
+def test_with_mask_and_pattern_copy():
+    attrs = Dsp48Attributes()
+    masked = attrs.with_mask(0xFF)
+    assert masked.mask == 0xFF
+    assert attrs.mask == 0
+    patterned = attrs.with_pattern(0xAB)
+    assert patterned.pattern == 0xAB
+
+
+def test_cam_cell_attributes_shape():
+    attrs = cam_cell_attributes(mask=width_mask(32))
+    assert attrs.areg == attrs.breg == attrs.creg == attrs.preg == 1
+    assert attrs.mreg == 0
+    assert not attrs.use_mult
+    assert attrs.use_pattern_detect
+    assert attrs.pattern == 0
+    assert attrs.search_latency == 2
+    assert attrs.input_latency == 1
+
+
+def test_search_latency_tracks_registers():
+    assert Dsp48Attributes(creg=0, preg=1).search_latency == 1
+    assert Dsp48Attributes(creg=0, preg=0).search_latency == 0

@@ -1,0 +1,240 @@
+"""Unit tests for the DSP48E2 slice model."""
+
+import pytest
+
+from repro.dsp import (
+    ALL_ONES,
+    AluMode,
+    CAM_ALUMODE,
+    CAM_OPMODE,
+    DSP48E2,
+    Dsp48Attributes,
+    WMux,
+    XMux,
+    YMux,
+    ZMux,
+    cam_cell_attributes,
+    pack_opmode,
+    split_ab,
+)
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+
+def make_dsp(**attr_kwargs):
+    dsp = DSP48E2(Dsp48Attributes(**attr_kwargs))
+    return dsp, Simulator(dsp)
+
+
+def drive_cam(dsp):
+    dsp.opmode = CAM_OPMODE
+    dsp.alumode = int(CAM_ALUMODE)
+
+
+# ----------------------------------------------------------------------
+# XOR / CAM datapath
+# ----------------------------------------------------------------------
+def test_xor_mode_computes_ab_xor_c():
+    dsp, sim = make_dsp()
+    drive_cam(dsp)
+    a, b = split_ab(0xF0F0_F0F0_F0F0)
+    dsp.a, dsp.b = a, b
+    dsp.c = 0x0F0F_0F0F_0F0F
+    sim.step(2)  # input regs, then P
+    assert dsp.p == 0xFFFF_FFFF_FFFF
+
+
+def test_pattern_detect_on_match():
+    dsp, sim = make_dsp(use_pattern_detect=True, pattern=0, mask=0)
+    drive_cam(dsp)
+    a, b = split_ab(0x1234_5678_9ABC)
+    dsp.a, dsp.b = a, b
+    dsp.c = 0x1234_5678_9ABC
+    sim.step(2)
+    assert dsp.patterndetect
+    dsp.c = 0x1234_5678_9ABD
+    sim.step(2)
+    assert not dsp.patterndetect
+
+
+def test_pattern_detect_respects_mask():
+    mask = 0xFF  # ignore low byte
+    dsp, sim = make_dsp(pattern=0, mask=mask)
+    drive_cam(dsp)
+    a, b = split_ab(0xAA00)
+    dsp.a, dsp.b = a, b
+    dsp.c = 0xAA5A  # differs only in masked bits
+    sim.step(2)
+    assert dsp.patterndetect
+
+
+def test_patternbdetect_tracks_inverted_pattern():
+    dsp, sim = make_dsp(pattern=0, mask=0)
+    drive_cam(dsp)
+    a, b = split_ab(ALL_ONES)
+    dsp.a, dsp.b = a, b
+    dsp.c = 0
+    sim.step(2)
+    assert dsp.p == ALL_ONES
+    assert dsp.patternbdetect
+    assert not dsp.patterndetect
+
+
+def test_clock_enables_hold_ab():
+    dsp, sim = make_dsp()
+    drive_cam(dsp)
+    a, b = split_ab(777)
+    dsp.a, dsp.b = a, b
+    sim.step()
+    dsp.ce_a = dsp.ce_b = False
+    dsp.a, dsp.b = split_ab(999)
+    sim.step(3)
+    assert dsp.stored_ab == 777
+
+
+def test_ce_p_freezes_output():
+    dsp, sim = make_dsp()
+    drive_cam(dsp)
+    dsp.a, dsp.b = split_ab(5)
+    dsp.c = 5
+    sim.step(2)
+    assert dsp.patterndetect
+    dsp.ce_p = False
+    dsp.c = 6
+    sim.step(3)
+    assert dsp.patterndetect, "frozen P register must keep the match bit"
+
+
+# ----------------------------------------------------------------------
+# arithmetic modes
+# ----------------------------------------------------------------------
+def test_add_mode_z_plus_x():
+    dsp, sim = make_dsp()
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.C)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a, dsp.b = split_ab(100)
+    dsp.c = 23
+    sim.step(2)
+    assert dsp.p == 123
+
+
+def test_sub_mode_z_minus_x():
+    dsp, sim = make_dsp()
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.C)
+    dsp.alumode = int(AluMode.SUB)
+    dsp.a, dsp.b = split_ab(23)
+    dsp.c = 100
+    sim.step(2)
+    assert dsp.p == 77
+
+
+def test_sub_wraps_like_hardware():
+    dsp, sim = make_dsp()
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.C)
+    dsp.alumode = int(AluMode.SUB)
+    dsp.a, dsp.b = split_ab(1)
+    dsp.c = 0
+    sim.step(2)
+    assert dsp.p == ALL_ONES  # 0 - 1 mod 2^48
+
+
+def test_carry_in_participates():
+    dsp, sim = make_dsp()
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.C)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a, dsp.b = split_ab(1)
+    dsp.c = 1
+    dsp.carry_in = 1
+    sim.step(2)
+    assert dsp.p == 3
+
+
+def test_accumulator_via_z_equals_p():
+    dsp, sim = make_dsp()
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.P)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a, dsp.b = split_ab(10)
+    sim.step(5)
+    # First edge loads input regs; each later edge accumulates 10.
+    assert dsp.p == 40
+
+
+def test_multiplier_path():
+    dsp, sim = make_dsp(use_mult=True, mreg=1)
+    dsp.opmode = pack_opmode(XMux.M, YMux.ZERO, ZMux.ZERO)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a, dsp.b = 1234, 567
+    sim.step(3)  # A/B regs, M reg, P reg
+    assert dsp.p == 1234 * 567
+
+
+def test_rnd_via_w_mux():
+    dsp, sim = make_dsp(rnd=5)
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.ZERO, WMux.RND)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a, dsp.b = split_ab(10)
+    sim.step(2)
+    assert dsp.p == 15
+
+
+# ----------------------------------------------------------------------
+# cascade and validation
+# ----------------------------------------------------------------------
+def test_pcin_cascade_between_slices():
+    up = DSP48E2(Dsp48Attributes(), name="up")
+    down = DSP48E2(Dsp48Attributes(), name="down")
+    sim = Simulator(up, down)
+    up.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.ZERO)
+    up.alumode = int(AluMode.ADD)
+    up.a, up.b = split_ab(40)
+    down.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.PCIN)
+    down.alumode = int(AluMode.ADD)
+    down.a, down.b = split_ab(2)
+    for _ in range(4):
+        down.pcin = up.pcout
+        sim.step()
+    assert down.p == 42
+
+
+def test_invalid_alumode_raises():
+    dsp, sim = make_dsp()
+    dsp.opmode = CAM_OPMODE
+    dsp.alumode = 0b1111
+    with pytest.raises(ConfigError, match="ALUMODE"):
+        sim.step()
+
+
+def test_logic_mode_rejects_double_multiplier():
+    dsp, sim = make_dsp(use_mult=True)
+    dsp.opmode = pack_opmode(XMux.M, YMux.M, ZMux.C)
+    dsp.alumode = int(AluMode.XOR)
+    with pytest.raises(ConfigError, match="multiplier"):
+        sim.step()
+
+
+def test_preg_zero_gives_combinational_output():
+    dsp = DSP48E2(cam_cell_attributes().__class__(
+        areg=0, breg=0, creg=0, mreg=0, preg=0,
+        use_mult=False, use_pattern_detect=True, pattern=0, mask=0,
+    ))
+    sim = Simulator(dsp)
+    drive_cam(dsp)
+    dsp.a, dsp.b = split_ab(9)
+    dsp.c = 9
+    sim.step()
+    assert dsp.p == 0
+    assert dsp.patterndetect
+
+
+def test_update_then_search_latencies_match_table_v():
+    """The cell-level timing contract: write 1 cycle, search 2 cycles."""
+    dsp = DSP48E2(cam_cell_attributes())
+    sim = Simulator(dsp)
+    drive_cam(dsp)
+    dsp.a, dsp.b = split_ab(0xBEEF)
+    sim.step()  # update latency: 1
+    assert dsp.stored_ab == 0xBEEF
+    dsp.ce_a = dsp.ce_b = False
+    dsp.c = 0xBEEF
+    sim.step(2)  # search latency: 2
+    assert dsp.patterndetect

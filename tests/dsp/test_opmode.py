@@ -1,0 +1,73 @@
+"""Unit tests for OPMODE/ALUMODE encodings."""
+
+import pytest
+
+from repro.dsp import (
+    ALL_ONES,
+    CAM_ALUMODE,
+    CAM_OPMODE,
+    AluMode,
+    WMux,
+    XMux,
+    YMux,
+    ZMux,
+    pack_opmode,
+    unpack_opmode,
+)
+from repro.dsp.opmode import apply_logic, is_logic_mode, logic_function
+from repro.errors import ConfigError
+
+
+def test_pack_unpack_roundtrip():
+    for x in XMux:
+        for y in YMux:
+            for z in ZMux:
+                for w in WMux:
+                    opmode = pack_opmode(x, y, z, w)
+                    assert unpack_opmode(opmode) == (x, y, z, w)
+
+
+def test_unpack_rejects_out_of_range():
+    with pytest.raises(ConfigError, match="9-bit"):
+        unpack_opmode(1 << 9)
+    with pytest.raises(ConfigError, match="reserved"):
+        unpack_opmode(pack_opmode(XMux.ZERO, YMux.ZERO, ZMux.ZERO) | (0b111 << 4))
+
+
+def test_cam_opmode_selects_ab_xor_c():
+    x, y, z, w = unpack_opmode(CAM_OPMODE)
+    assert (x, y, z, w) == (XMux.AB, YMux.ZERO, ZMux.C, WMux.ZERO)
+    assert CAM_ALUMODE is AluMode.XOR
+
+
+def test_is_logic_mode():
+    assert is_logic_mode(AluMode.XOR)
+    assert is_logic_mode(AluMode.NAND)
+    assert not is_logic_mode(AluMode.ADD)
+    assert not is_logic_mode(AluMode.SUB)
+
+
+def test_logic_function_table():
+    assert logic_function(AluMode.XOR, YMux.ZERO) == "xor"
+    assert logic_function(AluMode.XOR, YMux.ALL_ONES) == "xnor"
+    assert logic_function(AluMode.AND, YMux.ZERO) == "and"
+    assert logic_function(AluMode.AND, YMux.ALL_ONES) == "or"
+    assert logic_function(AluMode.NAND, YMux.ZERO) == "nand"
+    assert logic_function(AluMode.NAND, YMux.ALL_ONES) == "nor"
+
+
+def test_logic_function_rejects_bad_y():
+    with pytest.raises(ConfigError, match="not a valid"):
+        logic_function(AluMode.XOR, YMux.C)
+
+
+def test_apply_logic_truth():
+    x, z = 0b1100, 0b1010
+    assert apply_logic("xor", x, z) == 0b0110
+    assert apply_logic("xnor", x, z) == (~0b0110) & ALL_ONES
+    assert apply_logic("and", x, z) == 0b1000
+    assert apply_logic("or", x, z) == 0b1110
+    assert apply_logic("nand", x, z) == (~0b1000) & ALL_ONES
+    assert apply_logic("nor", x, z) == (~0b1110) & ALL_ONES
+    with pytest.raises(ConfigError):
+        apply_logic("bogus", 0, 0)

@@ -1,0 +1,149 @@
+"""Unit tests for the DSP48E2 pre-adder and SIMD extensions."""
+
+import pytest
+
+from repro.dsp import (
+    AluMode,
+    DSP48E2,
+    Dsp48Attributes,
+    WMux,
+    XMux,
+    YMux,
+    ZMux,
+    pack_opmode,
+    split_ab,
+)
+from repro.errors import ConfigError
+from repro.sim import Simulator
+
+
+def make(**attrs):
+    dsp = DSP48E2(Dsp48Attributes(**attrs))
+    return dsp, Simulator(dsp)
+
+
+# ----------------------------------------------------------------------
+# attribute validation
+# ----------------------------------------------------------------------
+def test_preadder_requires_multiplier():
+    with pytest.raises(ConfigError, match="USE_MULT"):
+        Dsp48Attributes(use_preadder=True, use_mult=False)
+
+
+def test_simd_values_validated():
+    Dsp48Attributes(simd="TWO24")
+    Dsp48Attributes(simd="FOUR12")
+    with pytest.raises(ConfigError, match="USE_SIMD"):
+        Dsp48Attributes(simd="THREE16")
+
+
+def test_simd_excludes_multiplier():
+    with pytest.raises(ConfigError, match="SIMD"):
+        Dsp48Attributes(simd="TWO24", use_mult=True)
+
+
+def test_dreg_adreg_depth_limits():
+    with pytest.raises(ConfigError, match="DREG"):
+        Dsp48Attributes(dreg=2)
+    with pytest.raises(ConfigError, match="ADREG"):
+        Dsp48Attributes(adreg=-1)
+
+
+# ----------------------------------------------------------------------
+# pre-adder
+# ----------------------------------------------------------------------
+def test_preadder_multiplies_d_plus_a():
+    dsp, sim = make(use_mult=True, use_preadder=True, mreg=1)
+    dsp.opmode = pack_opmode(XMux.M, YMux.ZERO, ZMux.ZERO)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a = 100
+    dsp.d = 23
+    dsp.b = 7
+    sim.step(4)  # A/D regs, AD reg, M reg, P reg
+    assert dsp.p == (100 + 23) * 7
+
+
+def test_preadder_wraps_at_27_bits():
+    dsp, sim = make(use_mult=True, use_preadder=True, mreg=0)
+    dsp.opmode = pack_opmode(XMux.M, YMux.ZERO, ZMux.ZERO)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a = (1 << 27) - 1
+    dsp.d = 1
+    dsp.b = 3
+    sim.step(4)
+    assert dsp.p == 0  # (2^27 - 1 + 1) mod 2^27 = 0
+
+
+def test_ce_d_holds_value():
+    dsp, sim = make(use_mult=True, use_preadder=True, mreg=0)
+    dsp.opmode = pack_opmode(XMux.M, YMux.ZERO, ZMux.ZERO)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a = 10
+    dsp.d = 5
+    dsp.b = 1
+    sim.step()
+    dsp.ce_d = False
+    dsp.d = 999
+    sim.step(4)
+    assert dsp.p == 15  # D register held at 5
+
+
+# ----------------------------------------------------------------------
+# SIMD
+# ----------------------------------------------------------------------
+def simd_add(dsp, sim, ab, c):
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.C)
+    dsp.alumode = int(AluMode.ADD)
+    dsp.a, dsp.b = split_ab(ab)
+    dsp.c = c
+    sim.step(2)
+    return dsp.p
+
+
+def test_two24_lanes_do_not_carry_across():
+    dsp, sim = make(simd="TWO24")
+    # Low lane overflows: 0xFFFFFF + 1; high lane: 1 + 1.
+    result = simd_add(dsp, sim, (1 << 24) | 0xFFFFFF, (1 << 24) | 1)
+    assert result == (2 << 24) | 0  # no carry into the high lane
+    assert dsp.carryout & 0b01  # lane-0 carry flagged
+
+
+def test_four12_lanes_independent():
+    dsp, sim = make(simd="FOUR12")
+    ab = (0xFFF << 0) | (0x001 << 12) | (0x800 << 24) | (0x7FF << 36)
+    c = (0x001 << 0) | (0x002 << 12) | (0x800 << 24) | (0x001 << 36)
+    result = simd_add(dsp, sim, ab, c)
+    lanes = [(result >> (12 * i)) & 0xFFF for i in range(4)]
+    assert lanes == [0x000, 0x003, 0x000, 0x800]
+    assert dsp.carryout & 0b0001  # lane 0 overflowed
+    assert dsp.carryout & 0b0100  # lane 2 overflowed
+
+
+def test_one48_unchanged_default():
+    dsp, sim = make()
+    result = simd_add(dsp, sim, 0xFFFFFF, 1)
+    assert result == 0x1000000  # carry propagates in ONE48
+
+
+def test_simd_sub():
+    dsp, sim = make(simd="TWO24")
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.C)
+    dsp.alumode = int(AluMode.SUB)
+    dsp.a, dsp.b = split_ab((5 << 24) | 10)
+    dsp.c = (7 << 24) | 3
+    sim.step(2)
+    low = dsp.p & 0xFFFFFF
+    high = dsp.p >> 24
+    assert high == 2  # 7 - 5
+    assert low == (3 - 10) % (1 << 24)  # lane-local wrap
+
+
+def test_simd_logic_mode_is_full_width():
+    """Logic ops are bitwise: SIMD partitioning is a no-op for XOR."""
+    dsp, sim = make(simd="TWO24")
+    dsp.opmode = pack_opmode(XMux.AB, YMux.ZERO, ZMux.C)
+    dsp.alumode = int(AluMode.XOR)
+    dsp.a, dsp.b = split_ab(0xF0F0F0F0F0F0)
+    dsp.c = 0x0F0F0F0F0F0F
+    sim.step(2)
+    assert dsp.p == 0xFFFFFFFFFFFF

@@ -1,0 +1,74 @@
+"""Unit tests for the calibrated area model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric import (
+    BLOCK_LUT_ANCHORS,
+    UNIT_LUT_ANCHORS,
+    block_ff_cost,
+    block_lut_cost,
+    block_resources,
+    unit_lut_cost,
+    unit_resources,
+)
+from repro.fabric.area import provenance
+
+
+def test_block_lut_reproduces_table_vi_anchors():
+    for size, luts in BLOCK_LUT_ANCHORS.items():
+        assert block_lut_cost(size) == luts
+
+
+def test_unit_lut_reproduces_table_vii_anchors():
+    for entries, luts in UNIT_LUT_ANCHORS.items():
+        assert unit_lut_cost(entries) == luts
+
+
+def test_block_lut_monotone_in_size():
+    sizes = [32, 64, 128, 256, 512, 1024]
+    costs = [block_lut_cost(s) for s in sizes]
+    assert costs == sorted(costs)
+
+
+def test_unit_lut_roughly_linear_per_entry():
+    per_entry_small = unit_lut_cost(1024) / 1024
+    per_entry_large = unit_lut_cost(8192) / 8192
+    assert 3.0 < per_entry_small < 6.0
+    assert 3.0 < per_entry_large < 6.0
+
+
+def test_narrow_bus_costs_fewer_block_luts():
+    assert block_lut_cost(128, bus_width=128) < block_lut_cost(128, bus_width=512)
+
+
+def test_block_lut_validation():
+    with pytest.raises(ConfigError):
+        block_lut_cost(0)
+    with pytest.raises(ConfigError):
+        block_lut_cost(64, bus_width=0)
+
+
+def test_unit_lut_requires_at_least_one_block():
+    with pytest.raises(ConfigError):
+        unit_lut_cost(128, block_size=256)
+
+
+def test_block_resources_vector():
+    vec = block_resources(256)
+    assert vec.dsp == 256
+    assert vec.lut == BLOCK_LUT_ANCHORS[256]
+    assert vec.bram == 0
+    assert vec.ff == block_ff_cost(256)
+
+
+def test_unit_resources_include_interface_brams():
+    vec = unit_resources(9728)
+    assert vec.dsp == 9728
+    assert vec.bram == 4  # bus-interface FIFOs (Table I footnote)
+    assert vec.lut == UNIT_LUT_ANCHORS[9728]
+
+
+def test_provenance_mentions_tables():
+    note = provenance()
+    assert "Table VI" in note and "Table VII" in note

@@ -1,0 +1,64 @@
+"""Unit tests for the anchored calibration curves."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric import CalibratedCurve
+
+
+def test_needs_anchors():
+    with pytest.raises(ConfigError):
+        CalibratedCurve({}, "empty")
+
+
+def test_single_anchor_is_constant():
+    curve = CalibratedCurve({64.0: 10.0}, "const")
+    assert curve(1) == 10.0
+    assert curve(64) == 10.0
+    assert curve(4096) == 10.0
+
+
+def test_exact_anchor_values():
+    curve = CalibratedCurve({32.0: 100.0, 128.0: 300.0}, "t")
+    assert curve(32) == pytest.approx(100.0)
+    assert curve(128) == pytest.approx(300.0)
+    assert curve.is_anchor(32)
+    assert not curve.is_anchor(64)
+
+
+def test_log_interpolation_midpoint():
+    # log2 midpoint of 32 and 128 is 64.
+    curve = CalibratedCurve({32.0: 100.0, 128.0: 300.0}, "t")
+    assert curve(64) == pytest.approx(200.0)
+
+
+def test_extrapolation_uses_boundary_slope():
+    curve = CalibratedCurve({32.0: 100.0, 64.0: 200.0, 128.0: 250.0}, "t")
+    # Below: slope 100 per octave; above: slope 50 per octave.
+    assert curve(16) == pytest.approx(0.0)
+    assert curve(256) == pytest.approx(300.0)
+
+
+def test_clamp():
+    curve = CalibratedCurve(
+        {32.0: 100.0, 64.0: 300.0}, "t", clamp=(150.0, 250.0)
+    )
+    assert curve(32) == 150.0
+    assert curve(64) == 250.0
+
+
+def test_rejects_non_monotone_anchor_positions():
+    with pytest.raises(ConfigError):
+        CalibratedCurve({4.0: 1.0, 4.0000000001: 2.0}, "t",
+                        transform=lambda x: 0.0)
+
+
+def test_rejects_non_positive_input():
+    curve = CalibratedCurve({32.0: 100.0}, "t")
+    with pytest.raises(ConfigError):
+        curve(0)
+
+
+def test_domain_property():
+    curve = CalibratedCurve({8.0: 1.0, 64.0: 2.0}, "t")
+    assert curve.domain == (8.0, 64.0)

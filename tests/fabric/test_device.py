@@ -1,0 +1,47 @@
+"""Unit tests for the device catalogue."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.fabric import ALVEO_U250, ALVEO_U250_SLR, DEVICES, ResourceVector, get_device
+
+
+def test_u250_matches_table_iv():
+    cap = ALVEO_U250.capacity
+    assert cap.lut == 1_728_000
+    assert cap.ff == 3_456_000
+    assert cap.bram == 2_688
+    assert cap.uram == 1_280
+    assert cap.dsp == 12_288
+    assert ALVEO_U250.slr_count == 4
+
+
+def test_slr_slice_is_quarter():
+    assert ALVEO_U250_SLR.capacity.dsp == ALVEO_U250.capacity.dsp // 4
+    assert ALVEO_U250_SLR.capacity.lut == ALVEO_U250.capacity.lut // 4
+
+
+def test_survey_platforms_present():
+    for name in ("XC7V2000T", "Virtex-6", "XC6VLX760", "Kintex-7", "XCVU9P",
+                  "Intel Arria V 5ASTD5"):
+        assert name in DEVICES, name
+
+
+def test_get_device_lookup_and_error():
+    assert get_device("Alveo U250") is ALVEO_U250
+    with pytest.raises(DeviceError, match="unknown device"):
+        get_device("XC404")
+
+
+def test_device_fits_and_utilisation():
+    usage = ResourceVector(lut=72_178, bram=4, dsp=9_728)
+    assert ALVEO_U250.fits(usage)
+    util = ALVEO_U250.utilisation(usage)
+    # The paper's headline: ~79% of DSPs with only a few percent of LUTs.
+    assert util["dsp"] == pytest.approx(9_728 / 12_288)
+    assert util["lut"] < 0.05
+
+
+def test_max_paper_config_does_not_fit_one_slr():
+    usage = ResourceVector(dsp=9_728)
+    assert not ALVEO_U250_SLR.fits(usage)

@@ -1,0 +1,87 @@
+"""Unit tests for the SLR floorplanner."""
+
+import pytest
+
+from repro.errors import CapacityError, DeviceError
+from repro.fabric import (
+    ALVEO_U250,
+    fits_single_slr,
+    floorplan_unit,
+    max_single_slr_entries,
+)
+
+
+def test_case_study_unit_fits_one_slr():
+    """The Table IX constraint: 2K entries inside a single SLR."""
+    report = floorplan_unit(2048, 128)
+    assert report.single_slr
+    assert report.crossings == 0
+    assert fits_single_slr(2048, 128)
+
+
+def test_max_config_spans_multiple_slrs():
+    report = floorplan_unit(9728, 256)
+    assert report.slrs_used == 4
+    assert report.crossings == 3
+    assert sum(report.per_slr_dsp) == 9728
+
+
+def test_spill_boundary():
+    """One SLR holds 3072 DSPs; 3072 entries fit, 3073+ spill."""
+    assert fits_single_slr(3072, 256)
+    assert not fits_single_slr(3328, 256)
+    report = floorplan_unit(3328, 256)
+    assert report.slrs_used == 2
+    assert report.crossings == 1
+
+
+def test_contiguous_fill_order():
+    report = floorplan_unit(4096, 256)  # 16 blocks, 12 per SLR
+    assert report.assignments == [0] * 12 + [1] * 4
+
+
+def test_budget_reserves_headroom():
+    # With a 50% budget only 1536 DSPs/SLR are usable.
+    assert not fits_single_slr(2048, 128, slr_dsp_budget=0.5)
+    assert fits_single_slr(1536, 128, slr_dsp_budget=0.5)
+
+
+def test_overflow_raises():
+    with pytest.raises(CapacityError, match="exceed"):
+        floorplan_unit(16384, 256)  # > 12288 DSPs
+
+
+def test_block_bigger_than_slr_rejected():
+    with pytest.raises(CapacityError, match="does not fit one SLR"):
+        floorplan_unit(4096, 4096)
+
+
+def test_validation():
+    with pytest.raises(DeviceError):
+        floorplan_unit(100, 256)  # not a multiple
+    with pytest.raises(DeviceError):
+        floorplan_unit(256, 256, slr_dsp_budget=0)
+
+
+def test_max_single_slr_entries():
+    assert max_single_slr_entries(256) == 3072
+    assert max_single_slr_entries(128) == 3072
+    assert max_single_slr_entries(256, slr_dsp_budget=0.5) == 1536
+    # Consistency with the predicate.
+    limit = max_single_slr_entries(256)
+    assert fits_single_slr(limit, 256)
+    assert not fits_single_slr(limit + 256, 256)
+
+
+def test_frequency_droop_correlates_with_crossings():
+    """Structural story: more SLR crossings, lower calibrated clock."""
+    from repro.fabric import unit_frequency_mhz
+
+    pairs = []
+    for entries in (2048, 4096, 8192):
+        crossings = floorplan_unit(entries, 256).crossings
+        pairs.append((crossings, unit_frequency_mhz(entries, 48)))
+    crossings_list = [c for c, _ in pairs]
+    freqs = [f for _, f in pairs]
+    assert crossings_list == sorted(crossings_list)
+    assert freqs == sorted(freqs, reverse=True)

@@ -1,0 +1,61 @@
+"""Unit tests for resource vectors and utilisation."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.fabric import ResourceVector, total
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(DeviceError):
+        ResourceVector(lut=-1)
+
+
+def test_addition():
+    a = ResourceVector(lut=10, dsp=2)
+    b = ResourceVector(lut=5, bram=1)
+    c = a + b
+    assert c.lut == 15 and c.dsp == 2 and c.bram == 1
+
+
+def test_scaling():
+    v = ResourceVector(lut=3, dsp=1) * 4
+    assert v.lut == 12 and v.dsp == 4
+    assert (2 * ResourceVector(ff=5)).ff == 10
+    with pytest.raises(DeviceError):
+        ResourceVector() * -1
+
+
+def test_as_dict_and_nonzero():
+    v = ResourceVector(lut=7, dsp=3)
+    assert v.as_dict()["lut"] == 7
+    assert v.nonzero() == {"lut": 7, "dsp": 3}
+
+
+def test_fits_in():
+    cap = ResourceVector(lut=100, dsp=10)
+    assert ResourceVector(lut=100, dsp=10).fits_in(cap)
+    assert not ResourceVector(lut=101).fits_in(cap)
+    assert not ResourceVector(bram=1).fits_in(cap)
+
+
+def test_utilisation_fraction():
+    cap = ResourceVector(lut=200, dsp=10, bram=4)
+    use = ResourceVector(lut=50, dsp=5)
+    util = use.utilisation(cap)
+    assert util["lut"] == pytest.approx(0.25)
+    assert util["dsp"] == pytest.approx(0.5)
+    assert "uram" not in util
+
+
+def test_utilisation_missing_resource_raises():
+    cap = ResourceVector(lut=100)
+    with pytest.raises(DeviceError, match="device has none"):
+        ResourceVector(dsp=1).utilisation(cap)
+
+
+def test_total():
+    vectors = [ResourceVector(lut=1), ResourceVector(lut=2, dsp=1)]
+    summed = total(vectors)
+    assert summed.lut == 3 and summed.dsp == 1
+    assert total([]).lut == 0

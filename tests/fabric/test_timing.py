@@ -1,0 +1,83 @@
+"""Unit tests for the calibrated frequency/throughput model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.fabric import (
+    TARGET_FREQUENCY_MHZ,
+    block_frequency_mhz,
+    search_throughput_mops,
+    unit_frequency_mhz,
+    update_throughput_mops,
+)
+from repro.fabric.timing import (
+    UNIT_FREQ_ANCHORS_32,
+    UNIT_FREQ_ANCHORS_48,
+    provenance,
+)
+
+
+def test_block_frequency_is_target_for_table_vi_sizes():
+    for size in (32, 64, 128, 256, 512):
+        assert block_frequency_mhz(size) == TARGET_FREQUENCY_MHZ
+
+
+def test_unit_frequency_48_reproduces_table_vii():
+    for entries, freq in UNIT_FREQ_ANCHORS_48.items():
+        assert unit_frequency_mhz(entries, 48) == pytest.approx(freq)
+
+
+def test_unit_frequency_32_reproduces_table_viii():
+    for entries, freq in UNIT_FREQ_ANCHORS_32.items():
+        assert unit_frequency_mhz(entries, 32) == pytest.approx(freq)
+
+
+def test_frequency_monotone_non_increasing_with_size():
+    freqs = [unit_frequency_mhz(n, 48) for n in (512, 2048, 4096, 8192, 9728, 16384)]
+    assert freqs == sorted(freqs, reverse=True)
+
+
+def test_frequency_never_exceeds_target():
+    for entries in (128, 256, 512, 5000, 20000):
+        for width in (16, 32, 40, 48):
+            assert unit_frequency_mhz(entries, width) <= TARGET_FREQUENCY_MHZ
+
+
+def test_intermediate_width_between_curves():
+    f32 = unit_frequency_mhz(4096, 32)
+    f48 = unit_frequency_mhz(4096, 48)
+    f40 = unit_frequency_mhz(4096, 40)
+    assert min(f32, f48) <= f40 <= max(f32, f48)
+
+
+def test_narrow_widths_use_32_bit_curve():
+    assert unit_frequency_mhz(4096, 16) == unit_frequency_mhz(4096, 32)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        unit_frequency_mhz(0, 32)
+    with pytest.raises(ConfigError):
+        unit_frequency_mhz(512, 0)
+    with pytest.raises(ConfigError):
+        unit_frequency_mhz(512, 49)
+    with pytest.raises(ConfigError):
+        block_frequency_mhz(0)
+
+
+def test_update_throughput_matches_table_viii():
+    # 512-bit bus, 32-bit words -> 16 words/beat.
+    assert update_throughput_mops(512, 32) == pytest.approx(4800)
+    assert update_throughput_mops(4096, 32) == pytest.approx(4064)
+    assert update_throughput_mops(8192, 32) == pytest.approx(3840)
+
+
+def test_search_throughput_matches_table_viii():
+    assert search_throughput_mops(512, 32) == pytest.approx(300)
+    assert search_throughput_mops(4096, 32) == pytest.approx(254)
+    assert search_throughput_mops(8192, 32) == pytest.approx(240)
+
+
+def test_provenance_mentions_tables():
+    note = provenance()
+    assert "Table VII" in note and "Table VIII" in note

@@ -1,0 +1,119 @@
+"""Unit tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import CSRGraph
+
+
+def triangle_graph():
+    return CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+def test_from_edges_basic():
+    graph = triangle_graph()
+    assert graph.num_vertices == 3
+    assert graph.num_edges == 3
+    assert sorted(graph.neighbors(0).tolist()) == [1, 2]
+
+
+def test_from_edges_dedupes_and_symmetrises():
+    graph = CSRGraph.from_edges([(0, 1), (1, 0), (0, 1)])
+    assert graph.num_edges == 1
+    assert graph.neighbors(1).tolist() == [0]
+
+
+def test_self_loops_dropped():
+    graph = CSRGraph.from_edges([(0, 0), (0, 1)])
+    assert graph.num_edges == 1
+
+
+def test_empty_graph():
+    graph = CSRGraph.from_edges([], num_vertices=5)
+    assert graph.num_vertices == 5
+    assert graph.num_edges == 0
+
+
+def test_all_self_loops_yields_empty():
+    graph = CSRGraph.from_edges([(1, 1), (2, 2)], num_vertices=4)
+    assert graph.num_edges == 0
+    assert graph.num_vertices == 4
+
+
+def test_num_vertices_override():
+    graph = CSRGraph.from_edges([(0, 1)], num_vertices=10)
+    assert graph.num_vertices == 10
+    assert graph.degree(9) == 0
+
+
+def test_negative_ids_rejected():
+    with pytest.raises(DatasetError):
+        CSRGraph.from_edges([(-1, 2)])
+
+
+def test_bad_shape_rejected():
+    with pytest.raises(DatasetError):
+        CSRGraph.from_edges(np.array([1, 2, 3]))
+
+
+def test_degrees_and_has_edge():
+    graph = triangle_graph()
+    assert graph.degrees.tolist() == [2, 2, 2]
+    assert graph.has_edge(0, 2)
+    assert not graph.has_edge(0, 0)
+
+
+def test_edges_iterates_each_once():
+    graph = triangle_graph()
+    assert sorted(graph.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+
+def test_edge_array_matches_edges():
+    graph = CSRGraph.from_edges([(0, 3), (1, 2), (2, 3)])
+    array = graph.edge_array()
+    assert sorted(map(tuple, array.tolist())) == sorted(graph.edges())
+    assert (array[:, 0] < array[:, 1]).all()
+
+
+def test_validate_rejects_corrupt_indptr():
+    graph = triangle_graph()
+    with pytest.raises(DatasetError):
+        CSRGraph(np.array([0, 5, 2, 6]), graph.indices)
+
+
+def test_validate_rejects_out_of_range_index():
+    with pytest.raises(DatasetError):
+        CSRGraph(np.array([0, 1]), np.array([5]))
+
+
+# ----------------------------------------------------------------------
+# orientation
+# ----------------------------------------------------------------------
+def test_oriented_has_each_edge_once():
+    graph = triangle_graph()
+    oriented = graph.oriented()
+    assert oriented.num_edges == graph.num_edges
+
+
+def test_oriented_counts_triangles_once():
+    """Common oriented neighbours of an oriented edge = triangles at it."""
+    graph = triangle_graph()
+    oriented = graph.oriented()
+    total = 0
+    src, dst = oriented.edge_endpoints()
+    for u, v in zip(src, dst):
+        total += len(
+            set(oriented.neighbors(int(u)).tolist())
+            & set(oriented.neighbors(int(v)).tolist())
+        )
+    assert total == 1
+
+
+def test_oriented_out_degree_bounded_on_star():
+    """Degree orientation points edges at the hub, so the hub's
+    oriented out-degree collapses to ~0."""
+    star = CSRGraph.from_edges([(0, i) for i in range(1, 20)])
+    oriented = star.oriented()
+    assert oriented.out_degrees[0] == 0
+    assert oriented.out_degrees[1:].sum() == 19

@@ -1,0 +1,80 @@
+"""Unit tests for the Table IX dataset registry and stand-ins."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import DATASETS, dataset_names, get_dataset
+from repro.graph.triangles import clustering_summary
+
+
+def test_all_ten_table_ix_datasets_present():
+    names = dataset_names()
+    assert len(names) == 10
+    assert names[0] == "facebook_combined"
+    assert names[-1] == "soc-Slashdot0811"
+
+
+def test_published_stats_recorded():
+    fb = get_dataset("facebook_combined")
+    assert fb.nodes == 4_039
+    assert fb.edges == 88_234
+    assert fb.triangles_published == 1_612_010
+    assert fb.paper_speedup == pytest.approx(18.7 / 5.054)
+    road = get_dataset("roadNet-CA")
+    assert road.kind == "road"
+    assert road.triangles_published == 120_676
+
+
+def test_unknown_dataset_raises():
+    with pytest.raises(DatasetError, match="unknown dataset"):
+        get_dataset("bogus")
+
+
+def test_standin_scaling():
+    spec = get_dataset("roadNet-CA")
+    standin = spec.standin(max_edges=20_000, seed=0)
+    assert standin.scale < 0.01
+    assert standin.graph.num_edges <= 32_000
+    # Small dataset at a generous cap: full scale.
+    as_spec = get_dataset("as20000102")
+    full = as_spec.standin(max_edges=100_000, seed=0)
+    assert full.scale == 1.0
+
+
+def test_standins_are_deterministic():
+    spec = get_dataset("facebook_combined")
+    a = spec.standin(max_edges=10_000, seed=3).graph
+    b = spec.standin(max_edges=10_000, seed=3).graph
+    assert a.num_edges == b.num_edges
+    assert (a.indices == b.indices).all()
+
+
+def test_standin_structural_families():
+    """Each stand-in must preserve the structural trait that drives its
+    Table IX behaviour."""
+    road = get_dataset("roadNet-PA").standin(max_edges=15_000, seed=0)
+    road_stats = clustering_summary(road.graph)
+    assert road_stats["max_degree"] <= 8, "road graphs are near-uniform"
+
+    social = get_dataset("facebook_combined").standin(max_edges=30_000, seed=0)
+    social_stats = clustering_summary(social.graph)
+    assert social_stats["max_degree"] > 5 * social_stats["avg_degree"]
+
+    dense = get_dataset("ca-cit-HepPh").standin(max_edges=30_000, seed=0)
+    dense_stats = clustering_summary(dense.graph)
+    assert dense_stats["avg_degree"] > 20, "HepPh is extremely dense"
+
+
+def test_standin_hub_caps_track_real_graphs():
+    """The generators must not produce hubs far heavier than the real
+    dataset's (that skews the Table IX cost model; see datasets.py)."""
+    spec = get_dataset("amazon0302")
+    standin = spec.standin(max_edges=120_000, seed=0)
+    stats = clustering_summary(standin.graph)
+    # Real amazon0302: max degree 420 on 262k vertices.
+    assert stats["max_degree"] <= 100
+
+
+def test_avg_degree_property():
+    spec = get_dataset("ca-cit-HepPh")
+    assert spec.avg_degree == pytest.approx(2 * spec.edges / spec.nodes)

@@ -1,0 +1,92 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import (
+    erdos_renyi,
+    power_law,
+    preferential_attachment,
+    road_network,
+)
+
+
+def test_erdos_renyi_size_and_determinism():
+    a = erdos_renyi(500, 2000, seed=1)
+    b = erdos_renyi(500, 2000, seed=1)
+    c = erdos_renyi(500, 2000, seed=2)
+    assert a.num_vertices == 500
+    assert 1500 <= a.num_edges <= 2400
+    assert np.array_equal(a.indices, b.indices)
+    assert not np.array_equal(a.indices, c.indices)
+
+
+def test_erdos_renyi_validation():
+    with pytest.raises(DatasetError):
+        erdos_renyi(1, 5)
+
+
+def test_power_law_degree_tail():
+    graph = power_law(2000, 8000, exponent=2.0, seed=3)
+    degrees = graph.degrees
+    assert degrees.max() > 5 * degrees.mean(), "needs a heavy tail"
+    assert abs(graph.num_edges - 8000) / 8000 < 0.35
+
+
+def test_power_law_max_degree_cap():
+    graph = power_law(2000, 8000, exponent=2.0, max_degree=50, seed=3)
+    assert graph.degrees.max() <= 50
+
+
+def test_power_law_triangle_closing_raises_clustering():
+    from repro.graph import count_triangles
+    plain = power_law(800, 3000, seed=4)
+    closed = power_law(800, 3000, triangle_fraction=0.5, seed=4)
+    assert count_triangles(closed) > count_triangles(plain)
+
+
+def test_power_law_validation():
+    with pytest.raises(DatasetError):
+        power_law(2, 10)
+    with pytest.raises(DatasetError):
+        power_law(100, 200, exponent=1.0)
+
+
+def test_road_network_degrees_are_gridlike():
+    graph = road_network(4000, seed=5)
+    degrees = graph.degrees[graph.degrees > 0]
+    assert 2.0 < degrees.mean() < 4.5
+    assert degrees.max() <= 8
+
+
+def test_road_network_validation():
+    with pytest.raises(DatasetError):
+        road_network(2)
+
+
+def test_preferential_attachment_hubs():
+    graph = preferential_attachment(2000, 3, seed=6)
+    assert graph.num_vertices == 2000
+    degrees = graph.degrees
+    assert degrees.max() > 10 * degrees.mean()
+    # Every non-seed vertex attached with ~m edges.
+    assert graph.num_edges >= (2000 - 3) * 3 * 0.9
+
+
+def test_preferential_attachment_validation():
+    with pytest.raises(DatasetError):
+        preferential_attachment(5, 0)
+    with pytest.raises(DatasetError):
+        preferential_attachment(3, 3)
+
+
+def test_generators_are_deterministic_per_seed():
+    for make in (
+        lambda s: power_law(300, 900, seed=s),
+        lambda s: road_network(300, seed=s),
+        lambda s: preferential_attachment(300, 2, seed=s),
+    ):
+        x, y = make(9), make(9)
+        assert np.array_equal(x.indptr, y.indptr)
+        assert np.array_equal(x.indices, y.indices)

@@ -1,0 +1,58 @@
+"""Unit tests for SNAP edge-list IO."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph import CSRGraph, load_edge_list, save_edge_list
+
+
+def test_roundtrip(tmp_path):
+    graph = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    path = tmp_path / "graph.txt"
+    save_edge_list(graph, path, header="test graph")
+    loaded = load_edge_list(path)
+    assert loaded.num_vertices == graph.num_vertices
+    assert loaded.num_edges == graph.num_edges
+    assert sorted(loaded.edges()) == sorted(graph.edges())
+
+
+def test_header_written(tmp_path):
+    graph = CSRGraph.from_edges([(0, 1)])
+    path = tmp_path / "g.txt"
+    save_edge_list(graph, path, header="line one\nline two")
+    text = path.read_text()
+    assert text.startswith("# line one\n# line two\n")
+    assert "# Nodes: 2 Edges: 1" in text
+
+
+def test_load_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "snap.txt"
+    path.write_text("# SNAP style\n\n0 1\n1\t2\n# trailing comment\n")
+    graph = load_edge_list(path)
+    assert graph.num_edges == 2
+
+
+def test_load_missing_file():
+    with pytest.raises(DatasetError, match="not found"):
+        load_edge_list("/nonexistent/file.txt")
+
+
+def test_load_malformed_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0\n")
+    with pytest.raises(DatasetError, match="expected 'src dst'"):
+        load_edge_list(path)
+
+
+def test_load_non_integer(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("a b\n")
+    with pytest.raises(DatasetError, match="non-integer"):
+        load_edge_list(path)
+
+
+def test_load_empty_file(tmp_path):
+    path = tmp_path / "empty.txt"
+    path.write_text("# only comments\n")
+    with pytest.raises(DatasetError, match="no edges"):
+        load_edge_list(path)

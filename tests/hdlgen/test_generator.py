@@ -1,0 +1,113 @@
+"""Unit tests for the template-driven Verilog generator."""
+
+import pytest
+
+from repro.core import BlockConfig, CamType, CellConfig, unit_for_entries
+from repro.dsp import CAM_OPMODE
+from repro.hdlgen import (
+    balanced_blocks,
+    count_occurrences,
+    generate_block,
+    generate_cell,
+    generate_project,
+    generate_unit,
+    write_project,
+)
+
+
+def small_unit(cam_type=CamType.BINARY):
+    return unit_for_entries(
+        512, block_size=128, data_width=32, bus_width=512, cam_type=cam_type
+    )
+
+
+# ----------------------------------------------------------------------
+# cell
+# ----------------------------------------------------------------------
+def test_cell_module_structure():
+    source = generate_cell(CellConfig(data_width=32))
+    assert "module cam_cell" in source
+    assert balanced_blocks(source)
+    assert count_occurrences(source, "DSP48E2") == 2  # comment + instance
+    assert "DSP48E2 #(" in source
+    assert 'USE_PATTERN_DETECT("PATDET")' in source
+
+
+def test_cell_encodes_cam_opmode():
+    source = generate_cell(CellConfig(data_width=32))
+    assert f"9'b{CAM_OPMODE:09b}" in source
+    assert "4'b0100" in source  # ALUMODE XOR
+
+
+def test_cell_mask_covers_unused_width():
+    source = generate_cell(CellConfig(data_width=32))
+    assert "48'hffff00000000" in source
+    full = generate_cell(CellConfig(data_width=48))
+    assert "48'h000000000000" in full
+
+
+# ----------------------------------------------------------------------
+# block
+# ----------------------------------------------------------------------
+def test_block_parameters_substituted():
+    block = BlockConfig(cell=CellConfig(data_width=32), block_size=128,
+                        bus_width=512)
+    source = generate_block(block)
+    assert "parameter BLOCK_SIZE     = 128" in source
+    assert "parameter BUS_WIDTH      = 512" in source
+    assert "parameter WORDS_PER_BEAT = 16" in source
+    assert "parameter OUTPUT_BUFFER  = 0" in source
+    assert balanced_blocks(source)
+
+
+def test_block_buffer_parameter():
+    block = BlockConfig(cell=CellConfig(data_width=32), block_size=256)
+    assert "parameter OUTPUT_BUFFER  = 1" in generate_block(block)
+    assert "parameter OUTPUT_BUFFER  = 1" in generate_block(
+        BlockConfig(cell=CellConfig(data_width=32), block_size=64),
+        buffered=True,
+    )
+
+
+def test_block_instantiates_cells():
+    block = BlockConfig(cell=CellConfig(data_width=32), block_size=64,
+                        bus_width=512)
+    source = generate_block(block)
+    assert count_occurrences(source, "cam_cell") >= 1
+    assert "generate" in source and "endgenerate" in source
+
+
+# ----------------------------------------------------------------------
+# unit / project
+# ----------------------------------------------------------------------
+def test_unit_structure():
+    source = generate_unit(small_unit())
+    assert "module cam_unit" in source
+    assert "parameter NUM_BLOCKS   = 4" in source
+    assert "routing_table" in source
+    assert balanced_blocks(source)
+
+
+def test_project_has_three_files():
+    project = generate_project(small_unit())
+    assert set(project) == {"cam_cell.v", "cam_block.v", "cam_unit.v"}
+    for source in project.values():
+        assert source.startswith("//")
+        assert "{" + "0}" not in source
+
+
+def test_write_project(tmp_path):
+    written = write_project(small_unit(), tmp_path / "hdl")
+    assert len(written) == 3
+    for name, path in written.items():
+        text = open(path).read()
+        assert name.replace(".v", "") in text
+
+
+def test_unit_buffer_tracks_size_threshold():
+    small = generate_unit(small_unit())
+    assert ".OUTPUT_BUFFER(0)" in small
+    big = generate_unit(
+        unit_for_entries(2048, block_size=128, data_width=32)
+    )
+    assert ".OUTPUT_BUFFER(1)" in big

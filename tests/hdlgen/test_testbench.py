@@ -1,0 +1,67 @@
+"""Unit tests for the self-checking testbench generator."""
+
+import pytest
+
+from repro.core import BlockConfig, CellConfig
+from repro.errors import HdlGenError
+from repro.hdlgen import (
+    balanced_blocks,
+    generate_block_testbench,
+    generate_cell_testbench,
+)
+
+
+def block_config(size=16, width=32, bus=128, buffered=None):
+    return BlockConfig(
+        cell=CellConfig(data_width=width), block_size=size,
+        bus_width=bus, output_buffer=buffered,
+    )
+
+
+def test_cell_tb_structure():
+    tb = generate_cell_testbench(32)
+    assert "module cam_cell_tb" in tb
+    assert "cam_cell #(" in tb
+    assert "$finish" in tb
+    assert tb.count("expect(") >= 2
+    assert "repeat (2) @(posedge clk);" in tb  # 2-cycle search latency
+
+
+def test_cell_tb_respects_width():
+    tb = generate_cell_testbench(16)
+    assert ".DATA_WIDTH(16)" in tb
+    assert "48'hffffffff0000" in tb  # width mask for 16 bits
+
+
+def test_block_tb_structure():
+    tb = generate_block_testbench(block_config())
+    assert "module cam_block_tb" in tb
+    assert "cam_block #(" in tb
+    assert "localparam LATENCY    = 3;" in tb
+    assert tb.count("search_and_check(") >= 4  # stored words + a miss
+    assert "PASS" in tb and "FAIL" in tb
+
+
+def test_block_tb_expectations_come_from_model():
+    """Stored words at addresses 0..2 plus one guaranteed miss."""
+    tb = generate_block_testbench(block_config(), beat_words=3)
+    assert "1'b1, 0," in tb
+    assert "1'b1, 1," in tb
+    assert "1'b1, 2," in tb
+    assert "1'b0, 0," in tb  # the miss probe
+
+
+def test_block_tb_buffered_latency():
+    tb = generate_block_testbench(block_config(buffered=True))
+    assert "localparam LATENCY    = 4;" in tb
+    assert ".OUTPUT_BUFFER(1)" in tb
+
+
+def test_block_tb_beat_word_validation():
+    with pytest.raises(HdlGenError, match="beat_words"):
+        generate_block_testbench(block_config(bus=128), beat_words=9)
+
+
+def test_testbenches_are_balanced_verilog():
+    assert balanced_blocks(generate_cell_testbench())
+    assert balanced_blocks(generate_block_testbench(block_config()))

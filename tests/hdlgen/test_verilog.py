@@ -1,0 +1,79 @@
+"""Unit tests for the Verilog writer helpers."""
+
+import pytest
+
+from repro.errors import HdlGenError
+from repro.hdlgen import (
+    balanced_blocks,
+    check_identifier,
+    count_occurrences,
+    instantiate,
+    port_decl,
+    render_parameters,
+    vbits,
+)
+
+
+def test_check_identifier():
+    assert check_identifier("cam_cell") == "cam_cell"
+    assert check_identifier("_x$1") == "_x$1"
+    with pytest.raises(HdlGenError, match="invalid"):
+        check_identifier("1bad")
+    with pytest.raises(HdlGenError, match="invalid"):
+        check_identifier("has space")
+    with pytest.raises(HdlGenError, match="keyword"):
+        check_identifier("module")
+
+
+def test_vbits():
+    assert vbits(48, 0) == "48'h000000000000"
+    assert vbits(48, 0xBEEF) == "48'h00000000beef"
+    assert vbits(4, 15) == "4'hf"
+    with pytest.raises(HdlGenError):
+        vbits(4, 16)
+    with pytest.raises(HdlGenError):
+        vbits(0, 0)
+    with pytest.raises(HdlGenError):
+        vbits(8, -1)
+
+
+def test_port_decl():
+    assert port_decl("input", "clk") == "input wire clk"
+    assert port_decl("output", "data", 48) == "output wire [47:0] data"
+    with pytest.raises(HdlGenError):
+        port_decl("in", "clk")
+    with pytest.raises(HdlGenError):
+        port_decl("input", "clk", 0)
+
+
+def test_render_parameters():
+    text = render_parameters({"WIDTH": 32, "MODE": "FAST"})
+    assert "parameter WIDTH = 32" in text
+    assert 'parameter MODE = "FAST"' in text
+
+
+def test_instantiate():
+    text = instantiate(
+        "cam_cell", "cell_0",
+        {"DATA_WIDTH": 32},
+        [("clk", "clk"), ("match", "match_wire[0]")],
+    )
+    assert "cam_cell #(" in text
+    assert ".DATA_WIDTH(32)" in text
+    assert ".match(match_wire[0])" in text
+    with pytest.raises(HdlGenError):
+        instantiate("bad name", "i0", {}, [])
+
+
+def test_count_occurrences_word_boundaries():
+    source = "module x; endmodule // module"
+    assert count_occurrences(source, "module") == 2
+    assert count_occurrences(source, "endmodule") == 1
+
+
+def test_balanced_blocks():
+    good = "module m; always begin end endmodule"
+    assert balanced_blocks(good)
+    assert not balanced_blocks("module m; begin endmodule")
+    assert not balanced_blocks("module m; endmodule endmodule")
+    assert not balanced_blocks("case (x) endcase endcase")

@@ -1,0 +1,60 @@
+"""Smoke-run the fast example scripts end to end.
+
+Each example is executed as a subprocess with a fresh interpreter, so
+these tests catch import breakage, API drift, and assertion failures
+inside the examples themselves. The slow exhibits (full Table IX) are
+exercised by the benches instead.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+FAST_EXAMPLES = [
+    ("quickstart.py", "total simulated cycles"),
+    ("database_range_index.py", "scan agrees"),
+    ("multi_query_scaling.py", "keys/cycle"),
+    ("verilog_generation.py", "lines of Verilog"),
+]
+
+
+def run_example(name: str) -> str:
+    path = os.path.join(EXAMPLES_DIR, name)
+    completed = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert completed.returncode == 0, (
+        f"{name} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    return completed.stdout
+
+
+@pytest.mark.parametrize("name,marker", FAST_EXAMPLES)
+def test_example_runs(name, marker):
+    output = run_example(name)
+    assert marker in output
+
+
+def test_packet_classifier_example():
+    output = run_example("packet_classifier.py")
+    assert "rack-42" in output
+    assert "deny" in output and "allow" in output
+
+
+def test_verilog_generation_writes_files(tmp_path):
+    path = os.path.join(EXAMPLES_DIR, "verilog_generation.py")
+    completed = subprocess.run(
+        [sys.executable, path, str(tmp_path)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert completed.returncode == 0
+    assert (tmp_path / "cam_unit.v").exists()

@@ -1,0 +1,52 @@
+"""Guard the README's code snippets: they must run exactly as printed."""
+
+from repro.core import (
+    CamSession,
+    CamType,
+    range_entry,
+    ternary_entry_from_pattern,
+    unit_for_entries,
+)
+
+
+def test_readme_quickstart_snippet():
+    # Verbatim from README.md "Quickstart".
+    session = CamSession(unit_for_entries(
+        256, block_size=64, data_width=32, bus_width=512,
+        cam_type=CamType.BINARY, default_groups=2,
+    ))
+
+    session.update([10, 20, 30, 40])
+    hit = session.search_one(30)
+    assert hit.address == 2
+
+    results = session.search([10, 99])
+    assert results[0].hit and not results[1].hit
+    session.delete(20)
+    assert session.cycle > 0
+    assert not session.contains(20)
+
+
+def test_readme_ternary_range_snippet():
+    session = CamSession(unit_for_entries(
+        256, block_size=64, data_width=32, bus_width=512,
+        cam_type=CamType.TERNARY, default_groups=2,
+    ))
+    session.update([ternary_entry_from_pattern("1010_XXXX", 32)])
+    assert session.contains(0b1010_1111)
+
+    range_session = CamSession(unit_for_entries(
+        256, block_size=64, data_width=32, bus_width=512,
+        cam_type=CamType.RANGE,
+    ))
+    range_session.update([range_entry(0x100, 0x1FF, 32)])
+    assert range_session.contains(0x1AB)
+
+
+def test_package_docstring_snippet():
+    # Verbatim from repro/__init__.py.
+    session = CamSession(unit_for_entries(256, block_size=64,
+                                          data_width=32, default_groups=2))
+    session.update([10, 20, 30])
+    result = session.search_one(20)
+    assert result.hit and result.address == 1

@@ -1,0 +1,42 @@
+"""Unit tests for the streaming-bus arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import StreamBus
+
+
+def test_case_study_bus():
+    bus = StreamBus(width_bits=512, word_bits=32)
+    assert bus.words_per_beat == 16
+
+
+def test_words_per_beat_floors():
+    assert StreamBus(512, 48).words_per_beat == 10
+    assert StreamBus(64, 48).words_per_beat == 1
+
+
+def test_beats_for_words():
+    bus = StreamBus(512, 32)
+    assert bus.beats_for_words(0) == 0
+    assert bus.beats_for_words(1) == 1
+    assert bus.beats_for_words(16) == 1
+    assert bus.beats_for_words(17) == 2
+    assert bus.beats_for_words(160) == 10
+
+
+def test_bytes_for_words():
+    assert StreamBus(512, 32).bytes_for_words(16) == 64
+    assert StreamBus(512, 48).bytes_for_words(2) == 12
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        StreamBus(0, 32)
+    with pytest.raises(ConfigError):
+        StreamBus(32, 64)
+    bus = StreamBus(512, 32)
+    with pytest.raises(ConfigError):
+        bus.beats_for_words(-1)
+    with pytest.raises(ConfigError):
+        bus.bytes_for_words(-1)

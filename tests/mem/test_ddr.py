@@ -1,0 +1,65 @@
+"""Unit tests for the DDR channel model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.mem import U250_SINGLE_CHANNEL, DdrChannel
+
+
+def test_default_channel_is_ddr4_2400():
+    channel = U250_SINGLE_CHANNEL
+    assert channel.peak_bandwidth_gbps == pytest.approx(19.2)
+    assert channel.interface_bits == 512
+    assert channel.interface_bytes == 64
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        DdrChannel(peak_bandwidth_gbps=0)
+    with pytest.raises(ConfigError):
+        DdrChannel(interface_bits=100)  # not a byte multiple
+    with pytest.raises(ConfigError):
+        DdrChannel(efficiency=0.0)
+    with pytest.raises(ConfigError):
+        DdrChannel(efficiency=1.5)
+    with pytest.raises(ConfigError):
+        DdrChannel(access_latency_ns=-1)
+
+
+def test_beats_for_bytes():
+    channel = DdrChannel()
+    assert channel.beats_for_bytes(0) == 0
+    assert channel.beats_for_bytes(1) == 1
+    assert channel.beats_for_bytes(64) == 1
+    assert channel.beats_for_bytes(65) == 2
+    with pytest.raises(ConfigError):
+        channel.beats_for_bytes(-1)
+
+
+def test_stream_cycles_interface_bound():
+    """At 300 MHz x 512 bits the kernel interface (19.2 GB/s) is the
+    bottleneck for a sustained stream, not the DRAM."""
+    channel = DdrChannel(efficiency=1.0)
+    cycles = channel.stream_cycles(64 * 1000, frequency_mhz=300.0)
+    assert cycles == 1000
+
+
+def test_stream_cycles_dram_bound():
+    """At a faster kernel clock the DRAM bandwidth dominates."""
+    channel = DdrChannel(efficiency=0.5)  # 9.6 GB/s sustained
+    cycles = channel.stream_cycles(64 * 1000, frequency_mhz=300.0)
+    assert cycles == 2000  # half bandwidth -> twice the beats
+
+
+def test_random_access_cycles():
+    channel = DdrChannel(access_latency_ns=60.0)
+    assert channel.random_access_cycles(300.0) == 18
+    assert channel.random_access_cycles(100.0) == 6
+
+
+def test_frequency_validation():
+    channel = DdrChannel()
+    with pytest.raises(ConfigError):
+        channel.stream_cycles(64, frequency_mhz=0)
+    with pytest.raises(ConfigError):
+        channel.random_access_cycles(-1)

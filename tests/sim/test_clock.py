@@ -1,0 +1,43 @@
+"""Unit tests for clock-domain arithmetic."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import ClockDomain
+
+
+def test_period_ns():
+    clock = ClockDomain("sys", 300.0)
+    assert clock.period_ns == pytest.approx(1000.0 / 300.0)
+
+
+def test_invalid_frequency():
+    with pytest.raises(SimulationError):
+        ClockDomain("bad", 0.0)
+    with pytest.raises(SimulationError):
+        ClockDomain("bad", -10.0)
+
+
+def test_cycles_to_time_conversions():
+    clock = ClockDomain("sys", 250.0)  # 4 ns period
+    assert clock.cycles_to_ns(10) == pytest.approx(40.0)
+    assert clock.cycles_to_us(2500) == pytest.approx(10.0)
+    assert clock.cycles_to_ms(2_500_000) == pytest.approx(10.0)
+
+
+def test_ns_to_cycles_is_ceiling():
+    clock = ClockDomain("sys", 250.0)  # 4 ns period
+    assert clock.ns_to_cycles(0) == 0
+    assert clock.ns_to_cycles(4.0) == 1
+    assert clock.ns_to_cycles(4.1) == 2
+    assert clock.ns_to_cycles(8.0) == 2
+    with pytest.raises(SimulationError):
+        clock.ns_to_cycles(-1)
+
+
+def test_throughput_helpers_match_paper_units():
+    """16 words/cycle at 300 MHz is the paper's 4800 Mop/s figure."""
+    clock = ClockDomain("sys", 300.0)
+    assert clock.mops(16) == pytest.approx(4800.0)
+    assert clock.mops(1) == pytest.approx(300.0)
+    assert clock.ops_per_second(1) == pytest.approx(300e6)

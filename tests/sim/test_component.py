@@ -1,0 +1,92 @@
+"""Unit tests for the two-phase Component base class."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Component, Simulator
+
+
+class Counter(Component):
+    def reset_state(self):
+        self.value = 0
+
+    def compute(self):
+        self.schedule(value=self.value + 1)
+
+
+class Doubler(Component):
+    """Reads a registered input attribute, doubles it one cycle later."""
+
+    def reset_state(self):
+        self.d = 0
+        self.q = 0
+
+    def compute(self):
+        self.schedule(q=2 * self.d)
+
+
+def test_schedule_applies_at_commit():
+    counter = Counter()
+    counter.reset_state()
+    counter.compute()
+    assert counter.value == 0, "compute must not mutate observable state"
+    counter.commit()
+    assert counter.value == 1
+
+
+def test_double_schedule_same_attribute_raises():
+    counter = Counter()
+    counter.schedule(value=5)
+    with pytest.raises(SimulationError, match="scheduled twice"):
+        counter.schedule(value=6)
+
+
+def test_schedule_different_attributes_ok():
+    comp = Component("x")
+    comp.schedule(a=1)
+    comp.schedule(b=2)
+    comp.commit()
+    assert comp.a == 1 and comp.b == 2
+
+
+def test_add_child_and_iter_tree():
+    parent = Component("p")
+    child_a = parent.add_child(Component("a"))
+    child_b = parent.add_child(Component("b"))
+    grandchild = child_a.add_child(Component("g"))
+    names = [c.name for c in parent.iter_tree()]
+    assert names == ["p", "a", "g", "b"]
+    assert parent.children == [child_a, child_b]
+    assert grandchild.name == "g"
+
+
+def test_add_child_rejects_non_component():
+    parent = Component("p")
+    with pytest.raises(SimulationError, match="must be a Component"):
+        parent.add_child(object())
+
+
+def test_reset_tree_clears_pending_and_state():
+    counter = Counter()
+    sim = Simulator(counter)
+    sim.step(3)
+    assert counter.value == 3
+    counter.schedule(value=99)
+    counter.reset_tree()
+    assert counter.value == 0
+    sim.step()
+    assert counter.value == 1, "stale pending update must not survive reset"
+
+
+def test_default_name_is_class_name():
+    assert Counter().name == "Counter"
+    assert Counter("c0").name == "c0"
+
+
+def test_register_boundary_is_one_cycle():
+    """A value crossing a component boundary takes exactly one edge."""
+    doubler = Doubler()
+    sim = Simulator(doubler)
+    doubler.d = 21
+    sim.step()
+    assert doubler.q == 42

@@ -1,0 +1,183 @@
+"""Unit tests for registers, shift chains, FIFOs and valid pipes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Fifo, Register, ShiftRegister, Simulator, ValidPipe
+
+
+# ----------------------------------------------------------------------
+# Register
+# ----------------------------------------------------------------------
+def test_register_latches_on_edge():
+    reg = Register(init=7)
+    sim = Simulator(reg)
+    assert reg.q == 7
+    reg.d = 42
+    sim.step()
+    assert reg.q == 42
+
+
+def test_register_enable_holds_value():
+    reg = Register()
+    sim = Simulator(reg)
+    reg.d = 5
+    sim.step()
+    reg.d = 9
+    reg.enable = False
+    sim.step()
+    assert reg.q == 5
+
+
+# ----------------------------------------------------------------------
+# ShiftRegister
+# ----------------------------------------------------------------------
+def test_shift_register_depth_validation():
+    with pytest.raises(SimulationError):
+        ShiftRegister(0)
+
+
+def test_shift_register_delay():
+    sr = ShiftRegister(depth=3, bubble=None)
+    sim = Simulator(sr)
+    sr.push("x")
+    sim.step(3)
+    # After depth edges the value sits in the final stage (peek), and
+    # appears on the registered `out` one edge later.
+    assert sr.peek(2) == "x"
+    sim.step()
+    assert sr.out == "x"
+
+
+def test_shift_register_streams_in_order():
+    sr = ShiftRegister(depth=2)
+    sim = Simulator(sr)
+    seen = []
+    for value in ["a", "b", "c", None, None, None]:
+        if value is not None:
+            sr.push(value)
+        sim.step()
+        if sr.out is not None:
+            seen.append(sr.out)
+    assert seen == ["a", "b", "c"]
+
+
+def test_shift_register_occupancy_and_peek_bounds():
+    sr = ShiftRegister(depth=2)
+    sim = Simulator(sr)
+    sr.push(1)
+    sim.step()
+    assert sr.occupancy() == 1
+    with pytest.raises(SimulationError):
+        sr.peek(2)
+
+
+# ----------------------------------------------------------------------
+# Fifo
+# ----------------------------------------------------------------------
+def test_fifo_capacity_validation():
+    with pytest.raises(SimulationError):
+        Fifo(0)
+
+
+def test_fifo_push_pop_order():
+    fifo = Fifo(4)
+    sim = Simulator(fifo)
+    for value in (1, 2, 3):
+        fifo.push(value)
+        sim.step()
+    assert len(fifo) == 3
+    assert fifo.head == 1
+    popped = [fifo.pop()]
+    sim.step()
+    popped.append(fifo.pop())
+    sim.step()
+    assert popped == [1, 2]
+    assert fifo.head == 3
+
+
+def test_fifo_simultaneous_push_pop():
+    fifo = Fifo(2)
+    sim = Simulator(fifo)
+    fifo.push("a")
+    sim.step()
+    fifo.push("b")
+    assert fifo.pop() == "a"
+    sim.step()
+    assert len(fifo) == 1
+    assert fifo.head == "b"
+
+
+def test_fifo_overflow_and_underflow():
+    fifo = Fifo(1)
+    sim = Simulator(fifo)
+    with pytest.raises(SimulationError, match="pop from empty"):
+        fifo.pop()
+    fifo.push(1)
+    sim.step()
+    with pytest.raises(SimulationError, match="push to full"):
+        fifo.push(2)
+
+
+def test_fifo_double_push_rejected():
+    fifo = Fifo(4)
+    Simulator(fifo)
+    fifo.push(1)
+    with pytest.raises(SimulationError, match="double push"):
+        fifo.push(2)
+
+
+# ----------------------------------------------------------------------
+# ValidPipe
+# ----------------------------------------------------------------------
+def test_valid_pipe_latency_via_registered_output():
+    pipe = ValidPipe(depth=2)
+    sim = Simulator(pipe)
+    pipe.send({"key": 1})
+    # Registered `valid` asserts depth+1 edges after send (the output
+    # register adds one); `tail()` is the combinational depth-edge view.
+    sim.step(2)
+    assert pipe.tail() == (True, {"key": 1})
+    sim.step()
+    assert pipe.valid
+    assert pipe.payload == {"key": 1}
+    sim.step()
+    assert not pipe.valid
+
+
+def test_valid_pipe_full_rate():
+    pipe = ValidPipe(depth=3)
+    sim = Simulator(pipe)
+    received = []
+    for cycle in range(10):
+        if cycle < 5:
+            pipe.send(cycle)
+        sim.step()
+        valid, payload = pipe.tail()
+        if valid:
+            received.append(payload)
+    assert received == [0, 1, 2, 3, 4], "II=1 pipelining must hold"
+
+
+def test_valid_pipe_in_flight_count():
+    pipe = ValidPipe(depth=4)
+    sim = Simulator(pipe)
+    pipe.send("a")
+    sim.step()
+    pipe.send("b")
+    sim.step()
+    assert pipe.in_flight() == 2
+
+
+def test_valid_pipe_none_payload_is_valid():
+    """None must be a legal payload (distinct from a bubble)."""
+    pipe = ValidPipe(depth=1)
+    sim = Simulator(pipe)
+    pipe.send(None)
+    sim.step()
+    assert pipe.tail() == (True, None)
+
+
+def test_valid_pipe_depth_validation():
+    with pytest.raises(SimulationError):
+        ValidPipe(0)

@@ -1,0 +1,54 @@
+"""Unit tests for the event trace."""
+
+from repro.sim import Component, Simulator, Trace
+
+
+class Emitter(Component):
+    def reset_state(self):
+        self.n = 0
+
+    def compute(self):
+        self.emit(n=self.n, parity=self.n % 2)
+        self.schedule(n=self.n + 1)
+
+
+def test_events_are_recorded_with_cycles():
+    trace = Trace()
+    Simulator(Emitter("e"), trace=trace).step(3)
+    events = trace.events("e", "n")
+    assert [(e.cycle, e.value) for e in events] == [(0, 0), (1, 1), (2, 2)]
+
+
+def test_filtering_by_component_and_signal():
+    trace = Trace()
+    Simulator(Emitter("a"), Emitter("b"), trace=trace).step(2)
+    assert len(trace.events(component="a")) == 4  # 2 signals x 2 cycles
+    assert len(trace.events(signal="parity")) == 4  # 2 emitters x 2 cycles
+    assert len(trace.events("a", "n")) == 2
+
+
+def test_first_cycle_lookup():
+    trace = Trace()
+    Simulator(Emitter("e"), trace=trace).step(5)
+    assert trace.first_cycle("e", "n", 3) == 3
+    assert trace.first_cycle("e", "n", 99) is None
+
+
+def test_limit_caps_event_count():
+    trace = Trace(limit=3)
+    Simulator(Emitter("e"), trace=trace).step(10)
+    assert len(trace) == 3
+
+
+def test_to_text_renders_every_event():
+    trace = Trace()
+    Simulator(Emitter("e"), trace=trace).step(2)
+    text = trace.to_text()
+    assert "cycle" in text.splitlines()[0]
+    assert len(text.splitlines()) == 1 + len(trace)
+
+
+def test_iteration():
+    trace = Trace()
+    Simulator(Emitter("e"), trace=trace).step(1)
+    assert [event.signal for event in trace] == ["n", "parity"]

@@ -1,0 +1,86 @@
+"""Unit tests for the VCD trace exporter."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Component, Simulator, Trace, trace_to_vcd, write_vcd
+
+
+class Blinker(Component):
+    def reset_state(self):
+        self.n = 0
+
+    def compute(self):
+        self.emit(level=bool(self.n % 2), count=self.n, label=f"s{self.n}")
+        self.schedule(n=self.n + 1)
+
+
+def make_trace(cycles=4):
+    trace = Trace()
+    Simulator(Blinker("blk"), trace=trace).step(cycles)
+    return trace
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(SimulationError, match="empty"):
+        trace_to_vcd(Trace())
+
+
+def test_header_structure():
+    vcd = trace_to_vcd(make_trace())
+    assert vcd.startswith("$date")
+    assert "$timescale 1 ns $end" in vcd
+    assert "$scope module repro $end" in vcd
+    assert "$scope module blk $end" in vcd
+    assert "$enddefinitions $end" in vcd
+
+
+def test_variable_declarations():
+    vcd = trace_to_vcd(make_trace())
+    assert "$var wire 1" in vcd      # boolean level
+    assert " count $end" in vcd      # integer signal declared
+    assert "$var real 1" in vcd      # string label
+
+
+def test_value_changes_only_on_change():
+    vcd = trace_to_vcd(make_trace(4))
+    # level toggles each cycle: 0,1,0,1 -> 4 changes; count changes 4x.
+    lines = vcd.splitlines()
+    timesteps = [line for line in lines if line.startswith("#")]
+    assert timesteps == ["#0", "#1", "#2", "#3"]
+
+
+def test_multibit_binary_encoding():
+    vcd = trace_to_vcd(make_trace(5))
+    # count reaches 4 -> 3-bit vector entries like "b100 <id>".
+    assert any(line.startswith("b100 ") for line in vcd.splitlines())
+
+
+def test_identifiers_unique():
+    trace = Trace()
+    Simulator(Blinker("a"), Blinker("b"), trace=trace).step(2)
+    vcd = trace_to_vcd(trace)
+    var_lines = [line for line in vcd.splitlines() if line.startswith("$var")]
+    idents = [line.split()[3] for line in var_lines]
+    assert len(idents) == len(set(idents)) == 6
+
+
+def test_write_vcd(tmp_path):
+    path = write_vcd(make_trace(), str(tmp_path / "out.vcd"))
+    text = open(path).read()
+    assert "$enddefinitions" in text
+
+
+def test_cam_session_trace_exports():
+    """A real CAM session trace must export cleanly."""
+    from repro.core import CamSession, unit_for_entries
+
+    session = CamSession(
+        unit_for_entries(64, block_size=16, data_width=32, bus_width=128),
+        trace=True,
+    )
+    session.update([5])
+    session.search([5])
+    vcd = trace_to_vcd(session.trace)
+    assert "$enddefinitions $end" in vcd
+    assert "#0" in vcd

@@ -1,0 +1,75 @@
+"""Unit tests for the dsp-cam command-line interface."""
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_info(capsys):
+    code, out, _ = run(capsys, "info")
+    assert code == 0
+    assert "Alveo U250" in out
+    assert "table9" in out
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exit_info:
+        main(["--version"])
+    assert exit_info.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_exhibit_table5(capsys):
+    code, out, _ = run(capsys, "exhibit", "table5")
+    assert code == 0
+    assert "Table V" in out
+    assert "binary" in out and "ternary" in out and "range" in out
+
+
+def test_exhibit_fig1(capsys):
+    code, out, _ = run(capsys, "exhibit", "fig1")
+    assert code == 0
+    assert "Figure 1" in out
+    assert "multi_query" in out
+
+
+def test_exhibit_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["exhibit", "table99"])
+
+
+def test_demo(capsys):
+    code, out, _ = run(capsys, "demo", "--entries", "128", "--groups", "2")
+    assert code == 0
+    assert "hit=True" in out
+    assert "hit=False" in out
+
+
+def test_generate_hdl(tmp_path, capsys):
+    code, out, _ = run(
+        capsys, "generate-hdl", "--out", str(tmp_path / "hdl"),
+        "--entries", "256", "--block-size", "64",
+    )
+    assert code == 0
+    assert (tmp_path / "hdl" / "cam_unit.v").exists()
+    assert "4 blocks x 64 cells" in out
+
+
+def test_tc_single_dataset(capsys):
+    code, out, _ = run(
+        capsys, "tc", "--dataset", "as20000102", "--max-edges", "8000"
+    )
+    assert code == 0
+    assert "as20000102" in out
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])

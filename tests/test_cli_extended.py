@@ -1,0 +1,33 @@
+"""Tests for the sweep/vcd CLI extensions."""
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_sweep_block(capsys):
+    code, out = run(capsys, "sweep", "block", "--sizes", "32,64")
+    assert code == 0
+    assert "srch cy" in out
+    lines = [line for line in out.splitlines() if line.strip()]
+    assert len(lines) == 3  # header + two sizes
+
+
+def test_sweep_unit(capsys):
+    code, out = run(capsys, "sweep", "unit", "--sizes", "128")
+    assert code == 0
+    assert "4800" in out
+
+
+def test_vcd_command(tmp_path, capsys):
+    out_file = tmp_path / "trace.vcd"
+    code, out = run(capsys, "vcd", "--out", str(out_file))
+    assert code == 0
+    assert out_file.exists()
+    text = out_file.read_text()
+    assert text.startswith("$date")
+    assert "$enddefinitions $end" in text
