@@ -12,19 +12,25 @@ table, and checks the claims that must survive the substitution:
 - the overall average lands in the paper's low-single-digit regime.
 """
 
-from conftest import run_once
+import time
+
+import pytest
+
+from conftest import engine_kwargs, run_once
 
 from repro.apps.tc import (
     arithmetic_mean_speedup,
     run_all,
     verify_functional_equivalence,
 )
+from repro.apps.tc.intersect import CamIntersector
 from repro.bench.experiments import table09_triangle_counting
 from repro.graph import power_law
 
 MAX_EDGES = 120_000
 
 
+@pytest.mark.slow
 def test_table09_triangle_counting(benchmark, record_exhibit):
     table = run_once(
         benchmark, lambda: table09_triangle_counting(max_edges=MAX_EDGES)
@@ -56,11 +62,68 @@ def test_table09_triangle_counting(benchmark, record_exhibit):
     assert 2.5 < average < 8.0, average
 
 
-def test_functional_equivalence_on_real_cam(benchmark):
-    """The cycle-accurate CAM computes the same intersections as the
-    merge baseline on sampled edges (the correctness half of Table IX)."""
+def test_functional_equivalence_on_real_cam(benchmark, cam_engine,
+                                            audit_sample):
+    """The CAM computes the same intersections as the merge baseline on
+    sampled edges (the correctness half of Table IX).
+
+    Runs on the engine selected with ``--cam-engine`` (default: the
+    vectorized batch engine; ``audit`` additionally replays a sampled
+    fraction of episodes through the cycle-accurate shadow and asserts
+    bit-exact agreement)."""
     graph = power_law(500, 2000, triangle_fraction=0.4, seed=11)
+    intersector = CamIntersector(
+        **engine_kwargs(cam_engine, audit_sample)
+    )
     verified = run_once(
-        benchmark, lambda: verify_functional_equivalence(graph, sample_edges=8)
+        benchmark,
+        lambda: verify_functional_equivalence(
+            graph, sample_edges=8, intersector=intersector
+        ),
     )
     assert verified >= 6
+    if cam_engine == "audit":
+        report = intersector.session.audit_report
+        assert report.passed, report.summary()
+
+
+def test_batch_engine_speedup(benchmark, record_text):
+    """Wall-clock speedup of the batch engine over the cycle-accurate
+    simulator on the Table IX functional-equivalence workload.
+
+    Both engines run the identical sampled-edge intersection workload
+    and (by the equivalence guarantee) report identical simulated cycle
+    counts; only the wall-clock differs. The measured ratio is archived
+    under benchmarks/results/ as the fast path's headline number."""
+    graph = power_law(500, 2000, triangle_fraction=0.4, seed=11)
+
+    def run(engine: str):
+        intersector = CamIntersector(engine=engine)
+        start = time.perf_counter()
+        verified = verify_functional_equivalence(
+            graph, sample_edges=8, intersector=intersector
+        )
+        elapsed = time.perf_counter() - start
+        return verified, intersector.session.cycle, elapsed
+
+    cycle_verified, cycle_cycles, cycle_s = run("cycle")
+    batch_verified, batch_cycles, batch_s = benchmark.pedantic(
+        lambda: run("batch"), iterations=1, rounds=1
+    )
+    assert batch_verified == cycle_verified
+    assert batch_cycles == cycle_cycles
+    speedup = cycle_s / batch_s
+    record_text(
+        "batch_engine_speedup",
+        "\n".join([
+            "batch engine vs cycle-accurate simulator",
+            "(Table IX functional-equivalence workload: power_law(500, 2000),"
+            " 8 sampled edges)",
+            "",
+            f"cycle engine : {cycle_s:8.3f} s  ({cycle_cycles} simulated cycles)",
+            f"batch engine : {batch_s:8.3f} s  ({batch_cycles} simulated cycles)",
+            f"speedup      : {speedup:8.1f} x  (identical results and cycle"
+            " counts)",
+        ]),
+    )
+    assert speedup >= 20.0, f"batch engine only {speedup:.1f}x faster"

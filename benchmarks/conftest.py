@@ -15,6 +15,48 @@ import pytest
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running benchmark (deselect with -m 'not slow')"
+    )
+
+
+@pytest.fixture
+def cam_engine(request) -> str:
+    """Execution engine selected via ``--cam-engine`` (default: batch)."""
+    return request.config.getoption("--cam-engine")
+
+
+@pytest.fixture
+def audit_sample(request) -> float:
+    """Episode sampling rate selected via ``--audit-sample``."""
+    return request.config.getoption("--audit-sample")
+
+
+def engine_kwargs(engine: str, sample: float) -> dict:
+    """Session keyword arguments for an engine-parameterised harness."""
+    kwargs = {"engine": engine}
+    if engine == "audit":
+        kwargs.update(audit_sample=sample, audit_seed=0, strict=True)
+    return kwargs
+
+
+@pytest.fixture
+def record_text(capsys):
+    """Archive free-form text under benchmarks/results and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text.rstrip("\n") + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _record
+
+
 @pytest.fixture
 def record_exhibit(capsys):
     """Print an exhibit and archive its text under benchmarks/results."""

@@ -50,6 +50,8 @@ class CamTlb:
         entries: int = 64,
         vpn_bits: int = 20,
         block_size: int = 16,
+        engine: str = "cycle",
+        **session_kwargs,
     ) -> None:
         if not 1 <= vpn_bits <= 48:
             raise ConfigError(f"vpn_bits must be 1..48, got {vpn_bits}")
@@ -61,7 +63,7 @@ class CamTlb:
             data_width=vpn_bits,
             bus_width=max(128, vpn_bits),
             cam_type=CamType.BINARY,
-        ))
+        ), engine=engine, **session_kwargs)
         #: CAM content address -> physical frame (None = hole).
         self._frames: Dict[int, Optional[int]] = {}
         #: Live vpn -> cam address, in insertion (FIFO) order.

@@ -45,6 +45,8 @@ class CamDistinct:
         total_entries: int = 256,
         block_size: int = 64,
         key_width: int = 32,
+        engine: str = "cycle",
+        **session_kwargs,
     ) -> None:
         self.config = unit_for_entries(
             total_entries,
@@ -54,7 +56,7 @@ class CamDistinct:
             cam_type=CamType.BINARY,
             default_groups=1,
         )
-        self.session = CamSession(self.config)
+        self.session = CamSession(self.config, engine=engine, **session_kwargs)
 
     @property
     def capacity(self) -> int:

@@ -40,6 +40,8 @@ class CamJoin:
         total_entries: int = 1024,
         block_size: int = 128,
         key_width: int = 32,
+        engine: str = "cycle",
+        **session_kwargs,
     ) -> None:
         self.config = unit_for_entries(
             total_entries,
@@ -49,7 +51,7 @@ class CamJoin:
             cam_type=CamType.BINARY,
             default_groups=1,
         )
-        self.session = CamSession(self.config)
+        self.session = CamSession(self.config, engine=engine, **session_kwargs)
         self.key_width = key_width
 
     @property

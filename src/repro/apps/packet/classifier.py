@@ -123,7 +123,13 @@ def compile_rule(rule: Rule) -> List[CamEntry]:
 class PacketClassifier:
     """Priority-ordered ACL running on the cycle-accurate TCAM."""
 
-    def __init__(self, capacity: int = 256, block_size: int = 64) -> None:
+    def __init__(
+        self,
+        capacity: int = 256,
+        block_size: int = 64,
+        engine: str = "cycle",
+        **session_kwargs,
+    ) -> None:
         config = unit_for_entries(
             capacity,
             block_size=block_size,
@@ -131,7 +137,7 @@ class PacketClassifier:
             bus_width=512,
             cam_type=CamType.TERNARY,
         )
-        self.session = CamSession(config)
+        self.session = CamSession(config, engine=engine, **session_kwargs)
         self._rules: List[Rule] = []
         #: entry address -> rule index (ranges expand to several entries)
         self._entry_rule: List[int] = []

@@ -77,6 +77,8 @@ class LpmRouter:
         capacity: int = 256,
         block_size: int = 64,
         concurrent_lookups: int = 1,
+        engine: str = "cycle",
+        **session_kwargs,
     ) -> None:
         config = unit_for_entries(
             capacity,
@@ -86,7 +88,7 @@ class LpmRouter:
             cam_type=CamType.TERNARY,
             default_groups=concurrent_lookups,
         )
-        self.session = CamSession(config)
+        self.session = CamSession(config, engine=engine, **session_kwargs)
         self._routes: List[Route] = []
         self._table: List[Route] = []
         self._compiled = False
@@ -103,7 +105,7 @@ class LpmRouter:
     @property
     def lookup_cycles(self) -> int:
         """Simulated cycles of one lookup (the unit's search latency)."""
-        return self.session.unit.search_latency
+        return self.session.search_latency
 
     # ------------------------------------------------------------------
     def add_route(self, prefix: PrefixLike, next_hop: str) -> Route:

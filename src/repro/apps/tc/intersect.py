@@ -12,6 +12,10 @@ The CAM engine runs on the actual :class:`repro.core.CamSession`, so
 tests can prove the accelerator's datapath computes the same
 intersections the merge does -- the functional half of Table IX. The
 *performance* half lives in the vectorised cost models next door.
+``engine="batch"`` swaps in the vectorized fast path (identical
+results and cycle counts, orders of magnitude faster wall-clock) and
+``engine="audit"`` adds continuous differential verification against
+the cycle-accurate model; see :mod:`repro.core.batch`.
 """
 
 from __future__ import annotations
@@ -60,6 +64,8 @@ class CamIntersector:
         block_size: int = 128,
         data_width: int = 32,
         bus_width: int = 512,
+        engine: str = "cycle",
+        **session_kwargs,
     ) -> None:
         self.config = unit_for_entries(
             total_entries,
@@ -69,7 +75,8 @@ class CamIntersector:
             cam_type=CamType.BINARY,
             default_groups=1,
         )
-        self.session = CamSession(self.config)
+        self.engine = engine
+        self.session = CamSession(self.config, engine=engine, **session_kwargs)
         self.block_size = block_size
         self.num_blocks = self.config.num_blocks
 

@@ -113,31 +113,35 @@ def verify_functional_equivalence(
     sample_edges: int = 16,
     seed: int = 7,
     intersector: Optional[CamIntersector] = None,
+    engine: str = "cycle",
 ) -> int:
     """Drive the real CAM on sampled edges; assert it matches the merge.
 
     Returns the number of verified edges. Raises ``AssertionError`` on
     the first divergence (this is a verification harness, used by the
-    integration tests and the quickstart example).
+    integration tests and the quickstart example). ``engine`` selects
+    the CAM execution engine when no ``intersector`` is supplied --
+    ``"audit"`` keeps the cross-check honest by differentially
+    replaying sampled episodes through the cycle-accurate model.
     """
     rng = np.random.default_rng(seed)
     oriented = graph.oriented()
     src, dst = oriented.edge_endpoints()
     if src.size == 0:
         return 0
-    engine = intersector if intersector is not None else CamIntersector()
+    cam = intersector if intersector is not None else CamIntersector(engine=engine)
     picks = rng.choice(src.size, size=min(sample_edges, src.size), replace=False)
     verified = 0
     for index in picks:
         u, v = int(src[index]), int(dst[index])
         list_u = oriented.neighbors(u).tolist()
         list_v = oriented.neighbors(v).tolist()
-        if max(len(list_u), len(list_v)) > engine.config.total_entries:
+        if max(len(list_u), len(list_v)) > cam.config.total_entries:
             continue
         if not list_u or not list_v:
             continue
         expected, _steps = merge_intersect(sorted(list_u), sorted(list_v))
-        got, _cycles = engine.intersect(list_u, list_v)
+        got, _cycles = cam.intersect(list_u, list_v)
         assert got == expected, (
             f"CAM intersection diverged on edge ({u}, {v}): "
             f"cam={got} merge={expected}"

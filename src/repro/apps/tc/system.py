@@ -56,15 +56,20 @@ def simulate_system(
     channel: DdrChannel = U250_SINGLE_CHANNEL,
     frequency_mhz: float = 300.0,
     max_edges: Optional[int] = None,
+    engine: str = "cycle",
 ) -> SystemRun:
     """Run the figure-6 dataflow on the cycle-accurate CAM.
 
     Edges whose longer list exceeds the CAM capacity are skipped (and
     reported) rather than tiled -- the tiling path is exercised by the
     cost model; this executable is about exactness on the common path.
+    ``engine="batch"`` runs the identical dataflow on the vectorized
+    fast path (same cycle totals, much faster wall-clock);
+    ``engine="audit"`` adds sampled differential checking.
     """
-    engine = CamIntersector(total_entries=total_entries, block_size=block_size)
-    session = engine.session
+    intersector = CamIntersector(total_entries=total_entries,
+                                 block_size=block_size, engine=engine)
+    session = intersector.session
     bus = StreamBus(width_bits=channel.interface_bits,
                     word_bits=session.config.data_width)
 
@@ -95,7 +100,7 @@ def simulate_system(
         session.idle(stall)
         memory_stalls += stall
 
-        common, _cycles = engine.intersect(list_u, list_v)
+        common, _cycles = intersector.intersect(list_u, list_v)
         triangles += common
         processed += 1
 

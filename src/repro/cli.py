@@ -7,6 +7,9 @@ Subcommands:
 - ``generate-hdl``               -- emit the Verilog templates
 - ``demo``                       -- quick update/search round-trip
 - ``tc``                         -- run the triangle-counting case study
+- ``audit``                      -- differential equivalence check of the
+  vectorized batch engine against the cycle-accurate simulator and the
+  golden reference model
 """
 
 from __future__ import annotations
@@ -49,11 +52,27 @@ def _build_parser() -> argparse.ArgumentParser:
     demo = sub.add_parser("demo", help="update/search round-trip demo")
     demo.add_argument("--entries", type=int, default=256)
     demo.add_argument("--groups", type=int, default=2)
+    demo.add_argument("--engine", choices=["cycle", "batch", "audit"],
+                      default="cycle",
+                      help="execution engine (see repro.core.batch)")
 
     tc = sub.add_parser("tc", help="triangle-counting case study")
     tc.add_argument("--dataset", choices=dataset_names() + ["all"],
                     default="all")
     tc.add_argument("--max-edges", type=int, default=60_000)
+
+    audit = sub.add_parser(
+        "audit",
+        help="prove the batch engine equivalent to the cycle-accurate CAM",
+    )
+    audit.add_argument("--entries", type=int, default=128)
+    audit.add_argument("--block-size", type=int, default=32)
+    audit.add_argument("--data-width", type=int, default=16)
+    audit.add_argument("--cam-type", choices=["binary", "ternary", "range"],
+                       default="binary")
+    audit.add_argument("--groups", type=int, default=2)
+    audit.add_argument("--operations", type=int, default=200)
+    audit.add_argument("--seed", type=int, default=0)
 
     sweep = sub.add_parser("sweep", help="measure a custom size sweep")
     sweep.add_argument("level", choices=["block", "unit"])
@@ -110,11 +129,12 @@ def _cmd_generate_hdl(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(entries: int, groups: int) -> int:
+def _cmd_demo(entries: int, groups: int, engine: str = "cycle") -> int:
     session = CamSession(unit_for_entries(
         entries, block_size=64, data_width=32, default_groups=groups,
         cam_type=CamType.BINARY,
-    ))
+    ), engine=engine)
+    print(f"engine: {session.engine_name}")
     stored = list(range(100, 100 + min(entries // groups, 64)))
     session.update(stored)
     print(f"stored {len(stored)} words in {session.last_update_stats.cycles} cycles")
@@ -173,6 +193,29 @@ def _cmd_sweep(level: str, sizes_csv: str, data_width: int) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core import check_equivalence, check_three_way
+
+    config = unit_for_entries(
+        args.entries,
+        block_size=args.block_size,
+        data_width=args.data_width,
+        bus_width=max(128, args.data_width),
+        cam_type=CamType[args.cam_type.upper()],
+        default_groups=args.groups,
+    )
+    print(f"config: {config.num_blocks} blocks x {config.block.block_size} "
+          f"cells, {config.data_width}-bit {args.cam_type} entries, "
+          f"M={args.groups}")
+    three_way = check_three_way(config, operations=args.operations,
+                                seed=args.seed)
+    print(f"three-way (cycle vs batch vs golden): {three_way.summary()}")
+    audit = check_equivalence(config, operations=args.operations,
+                              seed=args.seed, engine="audit")
+    print(f"audit engine vs golden:               {audit.summary()}")
+    return 0 if (three_way.passed and audit.passed) else 1
+
+
 def _cmd_vcd(out_path: str) -> int:
     from repro.sim import write_vcd
 
@@ -201,9 +244,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "generate-hdl":
             return _cmd_generate_hdl(args)
         if args.command == "demo":
-            return _cmd_demo(args.entries, args.groups)
+            return _cmd_demo(args.entries, args.groups, args.engine)
         if args.command == "tc":
             return _cmd_tc(args.dataset, args.max_edges)
+        if args.command == "audit":
+            return _cmd_audit(args)
         if args.command == "sweep":
             return _cmd_sweep(args.level, args.sizes, args.data_width)
         if args.command == "vcd":

@@ -14,6 +14,15 @@ Public surface:
   :func:`unit_scaling`, :func:`measure_unit_performance` (section IV).
 """
 
+from repro.core.batch import (
+    ENGINES,
+    AuditDivergence,
+    AuditReport,
+    AuditSession,
+    BatchSession,
+    open_session,
+    session_class_for,
+)
 from repro.core.analysis import (
     BlockReport,
     CellReport,
@@ -52,11 +61,24 @@ from repro.core.session import CamSession, SearchStats, UpdateStats
 from repro.core.stats import BlockStats, UnitStats, collect_stats
 from repro.core.types import CamType, Encoding, OpKind, SearchResult, UpdateReceipt
 from repro.core.unit import CamUnit
-from repro.core.verification import CheckReport, Divergence, check_equivalence
+from repro.core.verification import (
+    CheckReport,
+    Divergence,
+    ThreeWayReport,
+    check_equivalence,
+    check_three_way,
+)
 from repro.core.wide import WideCamSession, WideEntry, wide_binary, wide_ternary
 
 __all__ = [
     "Allocation",
+    "AuditDivergence",
+    "AuditReport",
+    "AuditSession",
+    "BatchSession",
+    "ENGINES",
+    "open_session",
+    "session_class_for",
     "BUFFER_BLOCK_THRESHOLD",
     "BUFFER_UNIT_THRESHOLD",
     "BlockAddressController",
@@ -83,6 +105,8 @@ __all__ = [
     "RoutingTable",
     "SearchResult",
     "SearchStats",
+    "ThreeWayReport",
+    "check_three_way",
     "UnitConfig",
     "UnitPerfReport",
     "UnitStats",

@@ -1,0 +1,637 @@
+"""Vectorized batch execution engine for the CAM unit.
+
+The cycle-accurate :class:`repro.core.CamSession` drives every beat
+through the event simulator, which is exact but spends nearly all of
+its wall-clock time in Python component dispatch. For bulk workloads
+(the Table IX triangle-counting runs, the ablation sweeps, large joins)
+this module provides :class:`BatchSession`: the same transaction API,
+the same results bit for bit, and the same reported cycle counts --
+but executed directly against NumPy arrays of stored ``(value, mask)``
+pairs, with the cycle accounting computed analytically from the
+pipeline structure instead of simulated.
+
+The analytic model is *derived*, not guessed: every formula below
+mirrors a structural fact of the unit pipeline
+(:mod:`repro.core.routing`, :mod:`repro.core.block`) and is enforced
+against the simulator by the differential test suite
+(``tests/core/test_batch_equivalence.py``) and by the audit engine:
+
+- an update of ``B`` beats costs ``B + update_latency - 1`` cycles
+  (one issue slot per beat at initiation interval 1, plus the pipeline
+  drain of the final beat);
+- a search of ``B`` beats costs ``B + search_latency - 1`` cycles
+  (same shape; the latency term is 7 or 8 depending on the encoder
+  output buffer);
+- a delete-by-content beat costs ``search_latency`` cycles (it rides
+  the search path);
+- ``reset`` and ``set_groups`` cost ``update_latency + 2`` cycles
+  (the fixed flush window :class:`CamSession` waits out).
+
+Three engines are exposed through ``CamSession(config, engine=...)``
+or :func:`open_session`:
+
+- ``"cycle"``  -- the register-accurate simulator (default),
+- ``"batch"``  -- this module's vectorized fast path,
+- ``"audit"``  -- the fast path *plus* a differential audit: a seeded
+  sample of reset-bounded episodes is replayed, operation by
+  operation, through a shadow cycle-accurate session, and every
+  result and cycle count is asserted bit-exact. Running a benchmark
+  under ``engine="audit"`` turns it into a continuous equivalence
+  test of the batch engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.core.config import UnitConfig
+from repro.core.mask import CamEntry, binary_entry
+from repro.core.session import CamSession, RawWord, SearchStats, UpdateStats
+from repro.core.types import CamType, SearchResult
+from repro.dsp.primitives import DSP_WIDTH, mask_for
+from repro.fabric.area import unit_resources
+from repro.errors import (
+    AuditError,
+    CapacityError,
+    ConfigError,
+    RoutingError,
+)
+
+#: Full comparison width of one DSP cell (the pattern-detector window).
+_FULL = mask_for(DSP_WIDTH)
+
+
+class _GroupStore:
+    """Content of one logical CAM group as flat NumPy arrays.
+
+    Addresses are insertion order: the hardware's round-robin block
+    fill advances to the next block only when the current one is full,
+    so ``block_slot * block_size + cell`` equals the global insertion
+    index. Deleted entries become dead slots (``live`` False); the fill
+    pointer never rewinds, mirroring the block's invalidate-by-content
+    behaviour.
+    """
+
+    __slots__ = ("capacity", "fill", "values", "cares", "live")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.fill = 0
+        self.values = np.zeros(capacity, dtype=np.int64)
+        self.cares = np.zeros(capacity, dtype=np.int64)
+        self.live = np.zeros(capacity, dtype=bool)
+
+    def append(self, values: np.ndarray, cares: np.ndarray) -> None:
+        count = values.size
+        stop = self.fill + count
+        self.values[self.fill:stop] = values
+        self.cares[self.fill:stop] = cares
+        self.live[self.fill:stop] = True
+        self.fill = stop
+
+    def clear(self) -> None:
+        self.fill = 0
+        self.live[:] = False
+
+    def match_matrix(self, keys: np.ndarray) -> np.ndarray:
+        """Boolean (num_keys, fill) match matrix for masked keys."""
+        n = self.fill
+        if n == 0:
+            return np.zeros((keys.size, 0), dtype=bool)
+        diff = (keys[:, None] ^ self.values[None, :n]) & self.cares[None, :n]
+        return (diff == 0) & self.live[None, :n]
+
+    def entries(self) -> List[Optional[CamEntry]]:
+        """Golden view (holes as ``None``), same order as the hardware."""
+        out: List[Optional[CamEntry]] = []
+        for index in range(self.fill):
+            if not self.live[index]:
+                out.append(None)
+                continue
+            care = int(self.cares[index])
+            out.append(CamEntry(value=int(self.values[index]),
+                                mask=_FULL ^ care, width=DSP_WIDTH))
+        return out
+
+
+def _vector_from_row(row: np.ndarray) -> int:
+    """Pack one boolean match row into the integer match vector."""
+    if row.size == 0:
+        return 0
+    packed = np.packbits(row, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+class BatchSession(CamSession):
+    """Vectorized drop-in replacement for :class:`CamSession`.
+
+    Exposes the identical transaction API and produces bit-identical
+    :class:`SearchResult` values and identical cycle accounting, but
+    executes updates/searches/deletes as NumPy array operations. No
+    simulator is constructed; ``cycle`` is an analytic counter.
+    """
+
+    engine_name = "batch"
+
+    def __init__(
+        self,
+        config: UnitConfig,
+        trace: bool = False,
+        name: str = "cam_unit",
+        engine: Optional[str] = None,
+    ) -> None:
+        if trace:
+            raise ConfigError(
+                "waveform tracing needs the cycle-accurate engine; "
+                "construct CamSession(config, trace=True) instead"
+            )
+        self.config = config
+        self.name = name
+        self._cycle = 0
+        self._num_groups = config.default_groups
+        self._init_stores()
+        self.last_update_stats: Optional[UpdateStats] = None
+        self.last_search_stats: Optional[SearchStats] = None
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def _init_stores(self) -> None:
+        capacity = self.config.group_capacity(self._num_groups)
+        if self.config.replicate_updates:
+            # Every group holds the same content: share one store.
+            shared = _GroupStore(capacity)
+            self._stores = [shared] * self._num_groups
+        else:
+            self._stores = [_GroupStore(capacity) for _ in range(self._num_groups)]
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    @property
+    def trace(self):
+        return None
+
+    @property
+    def num_groups(self) -> int:
+        return self._num_groups
+
+    @property
+    def capacity(self) -> int:
+        return self.config.group_capacity(self._num_groups)
+
+    @property
+    def occupancy(self) -> int:
+        return self._stores[0].fill
+
+    @property
+    def search_latency(self) -> int:
+        return self.config.search_latency
+
+    @property
+    def update_latency(self) -> int:
+        return self.config.update_latency
+
+    @property
+    def words_per_beat(self) -> int:
+        return self.config.words_per_beat
+
+    def resources(self):
+        """Resource vector of the unit this engine models (same
+        calibrated estimate the cycle engine reports)."""
+        return unit_resources(
+            self.config.total_entries,
+            block_size=self.config.block.block_size,
+            bus_width=self.config.unit_bus_width,
+        )
+
+    def stored_entries(self, group: int = 0) -> List[Optional[CamEntry]]:
+        """Golden-model view of one group's content, in write order."""
+        if not 0 <= group < self._num_groups:
+            raise RoutingError(
+                f"{self.name}: group {group} out of range "
+                f"(0..{self._num_groups - 1})"
+            )
+        return self._stores[group].entries()
+
+    # ------------------------------------------------------------------
+    # word coercion (vectorized fast path for raw binary integers)
+    # ------------------------------------------------------------------
+    def _coerce_arrays(self, words: Sequence[RawWord]):
+        """Return (values, cares) int64 arrays for an update batch."""
+        width = self.config.data_width
+        if all(isinstance(word, (int, np.integer)) for word in words):
+            if self.config.block.cell.cam_type is not CamType.BINARY:
+                raise ConfigError(
+                    "raw integers are only accepted for binary CAMs; build "
+                    "CamEntry values for ternary/range configurations"
+                )
+            values = np.asarray([int(word) for word in words], dtype=np.int64)
+            bad = (values < 0) | (values >> width != 0)
+            if bad.any():
+                # Reproduce the exact scalar-path error for the first
+                # offending word.
+                binary_entry(int(values[np.argmax(bad)]), width)
+            cares = np.full(values.shape, mask_for(width), dtype=np.int64)
+            return values, cares
+        values = np.empty(len(words), dtype=np.int64)
+        cares = np.empty(len(words), dtype=np.int64)
+        for index, word in enumerate(words):
+            entry = self._coerce(word)
+            values[index] = entry.value & _FULL
+            cares[index] = ~entry.mask & _FULL
+        return values, cares
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def _update_targets(self, group: Optional[int]) -> List[int]:
+        if self.config.replicate_updates:
+            if group is not None:
+                raise RoutingError(
+                    f"{self.name}: replicated mode updates every group; "
+                    "do not pass a group id"
+                )
+            return [0]  # shared store
+        if group is None:
+            raise RoutingError(
+                f"{self.name}: independent mode requires a target group"
+            )
+        if not 0 <= group < self._num_groups:
+            raise RoutingError(
+                f"{self.name}: group {group} out of range "
+                f"(0..{self._num_groups - 1})"
+            )
+        return [group]
+
+    def update(
+        self, words: Sequence[RawWord], group: Optional[int] = None
+    ) -> UpdateStats:
+        words = list(words)
+        if not words:
+            raise ConfigError("update needs at least one word")
+        targets = self._update_targets(group)
+        values, cares = self._coerce_arrays(words)
+        per_beat = self.config.words_per_beat
+        beats = -(-len(words) // per_beat)
+        capacity = self.capacity
+        for store_index in targets:
+            store = self._stores[store_index]
+            if store.fill + len(words) > capacity:
+                # Mirror the cycle engine's partial-failure semantics:
+                # full beats that fit are issued (one cycle each) before
+                # the overflowing beat raises at issue time.
+                fitting_beats = (capacity - store.fill) // per_beat
+                fitting_words = fitting_beats * per_beat
+                for si in targets:
+                    self._stores[si].append(values[:fitting_words],
+                                            cares[:fitting_words])
+                self._cycle += fitting_beats
+                overflow = min(per_beat, len(words) - fitting_words)
+                raise CapacityError(
+                    f"{self.name}: group {store_index} cannot take "
+                    f"{overflow} more words "
+                    f"({store.fill}/{capacity} used)"
+                )
+        for store_index in targets:
+            self._stores[store_index].append(values, cares)
+        cycles = beats + self.config.update_latency - 1
+        self._cycle += cycles
+        stats = UpdateStats(words=len(words), beats=beats, cycles=cycles)
+        self.last_update_stats = stats
+        return stats
+
+    def _validate_groups(self, groups: Sequence[int]) -> List[int]:
+        group_ids = [int(g) for g in groups]
+        if len(group_ids) > self._num_groups:
+            raise RoutingError(
+                f"{self.name}: {len(group_ids)} concurrent queries exceed "
+                f"the current group count M={self._num_groups}"
+            )
+        if len(set(group_ids)) != len(group_ids):
+            raise RoutingError(f"{self.name}: each query needs a distinct group")
+        for g in group_ids:
+            if not 0 <= g < self._num_groups:
+                raise RoutingError(
+                    f"{self.name}: group {g} out of range "
+                    f"(0..{self._num_groups - 1})"
+                )
+        return group_ids
+
+    def search(
+        self,
+        keys: Sequence[int],
+        groups: Optional[Sequence[int]] = None,
+    ) -> List[SearchResult]:
+        keys = list(keys)
+        if not keys:
+            raise ConfigError("search needs at least one key")
+        if groups is None:
+            per_beat = self._num_groups
+            group_ids = list(range(per_beat))
+        else:
+            group_ids = self._validate_groups(groups)
+            per_beat = len(group_ids)
+        raw_keys = [int(key) for key in keys]
+        masked = np.asarray(raw_keys, dtype=np.int64) & _FULL
+        encoding = self.config.block.encoding
+
+        results: List[Optional[SearchResult]] = [None] * len(keys)
+        if self.config.replicate_updates:
+            # Every group answers from the same content: one matrix.
+            matrix = self._stores[0].match_matrix(masked)
+            for index, key in enumerate(raw_keys):
+                results[index] = SearchResult.from_vector(
+                    key, _vector_from_row(matrix[index]), encoding
+                )
+        else:
+            key_groups = np.asarray(
+                [group_ids[index % per_beat] for index in range(len(keys))]
+            )
+            for g in set(key_groups.tolist()):
+                picks = np.flatnonzero(key_groups == g)
+                matrix = self._stores[g].match_matrix(masked[picks])
+                for row, index in enumerate(picks):
+                    results[index] = SearchResult.from_vector(
+                        raw_keys[index], _vector_from_row(matrix[row]), encoding
+                    )
+
+        beats = -(-len(keys) // per_beat)
+        cycles = beats + self.config.search_latency - 1
+        self._cycle += cycles
+        stats = SearchStats(keys=len(keys), beats=beats, cycles=cycles)
+        self.last_search_stats = stats
+        return results  # type: ignore[return-value]
+
+    def delete(self, key: int) -> SearchResult:
+        """Delete-by-content: invalidate matches in every group."""
+        raw = int(key)
+        masked = np.asarray([raw], dtype=np.int64) & _FULL
+        encoding = self.config.block.encoding
+        first = self._stores[0].match_matrix(masked)[0]
+        result = SearchResult.from_vector(raw, _vector_from_row(first), encoding)
+        seen = set()
+        for store in self._stores:
+            if id(store) in seen:
+                continue
+            seen.add(id(store))
+            row = store.match_matrix(masked)[0]
+            store.live[: row.size][row] = False
+        self._cycle += self.config.search_latency
+        return result
+
+    # ------------------------------------------------------------------
+    def set_groups(self, num_groups: int) -> None:
+        if num_groups < 1 or self.config.num_blocks % num_groups:
+            raise RoutingError(
+                f"{self.name}: group count {num_groups} must divide "
+                f"{self.config.num_blocks} blocks"
+            )
+        self._num_groups = num_groups
+        self._init_stores()
+        self._cycle += self.config.update_latency + 2
+
+    def reset(self) -> None:
+        seen = set()
+        for store in self._stores:
+            if id(store) not in seen:
+                seen.add(id(store))
+                store.clear()
+        self._cycle += self.config.update_latency + 2
+
+    def idle(self, cycles: int = 1) -> None:
+        self._cycle += cycles
+
+
+# ----------------------------------------------------------------------
+# differential audit engine
+# ----------------------------------------------------------------------
+@dataclass
+class AuditDivergence:
+    """One observed disagreement between the batch and cycle engines."""
+
+    operation: str
+    detail: str
+
+
+@dataclass
+class AuditReport:
+    """Running tally of what the audit engine has proven equivalent."""
+
+    episodes: int = 0
+    episodes_audited: int = 0
+    ops_audited: int = 0
+    ops_fast_only: int = 0
+    divergences: List[AuditDivergence] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else (
+            f"FAIL ({len(self.divergences)} divergences, first: "
+            f"{self.divergences[0].operation}: {self.divergences[0].detail})"
+        )
+        return (
+            f"{verdict}: {self.ops_audited} ops audited bit-exact, "
+            f"{self.ops_fast_only} fast-only, "
+            f"{self.episodes_audited}/{self.episodes} episodes sampled"
+        )
+
+
+class AuditSession(BatchSession):
+    """The batch fast path with continuous differential verification.
+
+    A seeded coin decides, at every content flush (construction,
+    :meth:`reset`, :meth:`set_groups`), whether the upcoming *episode*
+    is audited. Audited episodes replay every operation through a
+    shadow cycle-accurate :class:`CamSession` and assert bit-exact
+    result agreement plus identical per-operation cycle counts;
+    unaudited episodes run at full batch speed. ``audit_sample=1.0``
+    verifies everything (and is exactly as slow as the cycle engine);
+    the default samples a fraction while keeping the workload itself
+    on the fast path.
+    """
+
+    engine_name = "audit"
+
+    def __init__(
+        self,
+        config: UnitConfig,
+        trace: bool = False,
+        name: str = "cam_unit",
+        engine: Optional[str] = None,
+        audit_sample: float = 0.1,
+        audit_seed: int = 0,
+        strict: bool = True,
+    ) -> None:
+        super().__init__(config, trace=trace, name=name)
+        if not 0.0 <= audit_sample <= 1.0:
+            raise ConfigError(
+                f"audit_sample must be in [0, 1], got {audit_sample}"
+            )
+        self.audit_sample = audit_sample
+        self.strict = strict
+        self._audit_rng = np.random.default_rng(audit_seed)
+        self.shadow = CamSession(config, name=f"{name}.shadow")
+        self.audit_report = AuditReport()
+        self._begin_episode()
+
+    # ------------------------------------------------------------------
+    def _begin_episode(self) -> None:
+        self.audit_report.episodes += 1
+        self._auditing = bool(self._audit_rng.random() < self.audit_sample)
+        if self._auditing:
+            self.audit_report.episodes_audited += 1
+
+    def _diverge(self, operation: str, detail: str) -> None:
+        self.audit_report.divergences.append(AuditDivergence(operation, detail))
+        if self.strict:
+            raise AuditError(
+                f"{self.name}: batch/cycle divergence in {operation}: {detail}"
+            )
+
+    @staticmethod
+    def _result_fields(result: SearchResult):
+        return (result.key, result.hit, result.address,
+                result.match_vector, result.match_count, result.encoding)
+
+    def _compare_results(
+        self,
+        operation: str,
+        fast: Sequence[SearchResult],
+        slow: Sequence[SearchResult],
+    ) -> None:
+        if len(fast) != len(slow):
+            self._diverge(operation, f"{len(fast)} vs {len(slow)} results")
+            return
+        for index, (f, s) in enumerate(zip(fast, slow)):
+            if self._result_fields(f) != self._result_fields(s):
+                self._diverge(
+                    operation,
+                    f"result {index}: batch hit={f.hit} addr={f.address} "
+                    f"vec={f.match_vector:#x} / cycle hit={s.hit} "
+                    f"addr={s.address} vec={s.match_vector:#x}",
+                )
+
+    # ------------------------------------------------------------------
+    def update(
+        self, words: Sequence[RawWord], group: Optional[int] = None
+    ) -> UpdateStats:
+        words = list(words)
+        try:
+            stats = super().update(words, group=group)
+        except Exception:
+            # The shadow never saw the failed beat; stop auditing this
+            # episode rather than reporting a false divergence later.
+            self._auditing = False
+            raise
+        if self._auditing:
+            shadow_stats = self.shadow.update(words, group=group)
+            self.audit_report.ops_audited += 1
+            if (stats.words, stats.beats, stats.cycles) != (
+                shadow_stats.words, shadow_stats.beats, shadow_stats.cycles
+            ):
+                self._diverge(
+                    "update",
+                    f"batch {stats} / cycle {shadow_stats}",
+                )
+        else:
+            self.audit_report.ops_fast_only += 1
+        return stats
+
+    def search(
+        self,
+        keys: Sequence[int],
+        groups: Optional[Sequence[int]] = None,
+    ) -> List[SearchResult]:
+        keys = list(keys)
+        results = super().search(keys, groups=groups)
+        if self._auditing:
+            shadow_results = self.shadow.search(keys, groups=groups)
+            self.audit_report.ops_audited += 1
+            self._compare_results("search", results, shadow_results)
+            fast_stats = self.last_search_stats
+            slow_stats = self.shadow.last_search_stats
+            if (fast_stats.keys, fast_stats.beats, fast_stats.cycles) != (
+                slow_stats.keys, slow_stats.beats, slow_stats.cycles
+            ):
+                self._diverge(
+                    "search", f"batch {fast_stats} / cycle {slow_stats}"
+                )
+        else:
+            self.audit_report.ops_fast_only += 1
+        return results
+
+    def delete(self, key: int) -> SearchResult:
+        before = self._cycle
+        result = super().delete(key)
+        if self._auditing:
+            shadow_before = self.shadow.cycle
+            shadow_result = self.shadow.delete(key)
+            self.audit_report.ops_audited += 1
+            self._compare_results("delete", [result], [shadow_result])
+            if self._cycle - before != self.shadow.cycle - shadow_before:
+                self._diverge(
+                    "delete",
+                    f"batch {self._cycle - before} cycles / cycle "
+                    f"{self.shadow.cycle - shadow_before} cycles",
+                )
+        else:
+            self.audit_report.ops_fast_only += 1
+        return result
+
+    def set_groups(self, num_groups: int) -> None:
+        super().set_groups(num_groups)
+        # The shadow always tracks flushes so a later audited episode
+        # starts from the same (empty, regrouped) state.
+        self.shadow.set_groups(num_groups)
+        self._begin_episode()
+
+    def reset(self) -> None:
+        super().reset()
+        self.shadow.reset()
+        self._begin_episode()
+
+    def idle(self, cycles: int = 1) -> None:
+        super().idle(cycles)
+        if self._auditing:
+            self.shadow.idle(cycles)
+
+
+# ----------------------------------------------------------------------
+# engine registry
+# ----------------------------------------------------------------------
+ENGINES = {
+    "cycle": CamSession,
+    "batch": BatchSession,
+    "audit": AuditSession,
+}
+
+
+def session_class_for(engine: str) -> Type[CamSession]:
+    """Resolve an engine name to its session class."""
+    try:
+        return ENGINES[engine]
+    except KeyError:
+        raise ConfigError(
+            f"unknown execution engine {engine!r}; pick one of "
+            f"{sorted(ENGINES)}"
+        ) from None
+
+
+def open_session(
+    config: UnitConfig, engine: str = "cycle", **kwargs
+) -> CamSession:
+    """Construct a session on the requested execution engine.
+
+    ``kwargs`` are forwarded to the engine's constructor (``trace`` and
+    ``name`` everywhere; ``audit_sample``/``audit_seed``/``strict`` for
+    the audit engine).
+    """
+    return session_class_for(engine)(config, **kwargs)

@@ -45,10 +45,34 @@ class SearchStats:
 
 
 class CamSession:
-    """Blocking transaction API over a cycle-accurate CAM unit."""
+    """Blocking transaction API over a cycle-accurate CAM unit.
+
+    ``CamSession(config)`` drives the register-accurate simulator. Two
+    alternative execution engines share this exact API (see
+    :mod:`repro.core.batch`): ``CamSession(config, engine="batch")``
+    returns a vectorized :class:`~repro.core.batch.BatchSession` and
+    ``engine="audit"`` an :class:`~repro.core.batch.AuditSession` that
+    differentially verifies the fast path against a cycle-accurate
+    shadow. Both are subclasses, so ``isinstance(session, CamSession)``
+    holds for every engine.
+    """
+
+    engine_name = "cycle"
+
+    def __new__(cls, config=None, *args, **kwargs):
+        engine = kwargs.get("engine", "cycle")
+        if cls is CamSession and engine not in (None, "cycle"):
+            from repro.core.batch import session_class_for
+
+            return super().__new__(session_class_for(engine))
+        return super().__new__(cls)
 
     def __init__(
-        self, config: UnitConfig, trace: bool = False, name: str = "cam_unit"
+        self,
+        config: UnitConfig,
+        trace: bool = False,
+        name: str = "cam_unit",
+        engine: Optional[str] = None,
     ) -> None:
         self.config = config
         self.unit = CamUnit(config, name=name)
@@ -75,6 +99,30 @@ class CamSession:
     @property
     def occupancy(self) -> int:
         return self.unit.stored_words(0)
+
+    @property
+    def num_groups(self) -> int:
+        """Current runtime group count M."""
+        return self.unit.num_groups
+
+    @property
+    def search_latency(self) -> int:
+        """End-to-end unit search latency in cycles (engine-agnostic)."""
+        return self.unit.search_latency
+
+    @property
+    def update_latency(self) -> int:
+        """End-to-end unit update latency in cycles (engine-agnostic)."""
+        return self.unit.update_latency
+
+    @property
+    def words_per_beat(self) -> int:
+        """Stored words carried per update beat (engine-agnostic)."""
+        return self.unit.words_per_beat
+
+    def resources(self):
+        """Estimated resource vector of the modelled unit."""
+        return self.unit.resources()
 
     # ------------------------------------------------------------------
     def _coerce(self, word: RawWord) -> CamEntry:

@@ -10,7 +10,10 @@ widths, encodings, group counts) can prove theirs the same way:
 The checker drives a random-but-reproducible interleaving of updates,
 searches, deletes and resets against both the cycle-accurate
 :class:`CamSession` and the :class:`ReferenceCam`, comparing every
-result bit for bit.
+result bit for bit. :func:`check_three_way` extends the same workload
+to the vectorized batch engine (:mod:`repro.core.batch`), proving the
+fast path equivalent to *both* the register-accurate model (results
+and cycle counts) and the golden reference (results) in one run.
 """
 
 from __future__ import annotations
@@ -92,12 +95,20 @@ def check_equivalence(
     operations: int = 200,
     seed: int = 0,
     session: Optional[CamSession] = None,
+    engine: str = "cycle",
 ) -> CheckReport:
-    """Drive a random workload against hardware and golden models."""
+    """Drive a random workload against hardware and golden models.
+
+    ``engine`` selects the execution engine under test ("cycle",
+    "batch" or "audit"); the audit engine additionally self-checks
+    against its cycle-accurate shadow while this checker compares it
+    to the golden reference.
+    """
     if operations < 1:
         raise ConfigError(f"operations must be >= 1, got {operations}")
     rng = np.random.default_rng(seed)
-    session = session if session is not None else CamSession(config)
+    if session is None:
+        session = CamSession(config, engine=engine)
     session.reset()
     capacity = session.capacity
     reference = ReferenceCam(capacity)
@@ -148,4 +159,159 @@ def check_equivalence(
             report.resets += 1
 
     report.simulated_cycles = session.cycle - start_cycle
+    return report
+
+
+@dataclass
+class ThreeWayReport:
+    """Outcome of one batch/cycle/reference differential run."""
+
+    operations: int
+    searches: int
+    updates: int
+    deletes: int
+    resets: int
+    regroups: int
+    simulated_cycles: int
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else (
+            f"FAIL ({len(self.divergences)} divergences, first: "
+            f"{self.divergences[0]})"
+        )
+        return (
+            f"{verdict}: {self.operations} ops "
+            f"({self.updates} updates, {self.searches} searches, "
+            f"{self.deletes} deletes, {self.resets} resets, "
+            f"{self.regroups} regroups) in {self.simulated_cycles} cycles"
+        )
+
+
+def check_three_way(
+    config: UnitConfig,
+    operations: int = 120,
+    seed: int = 0,
+    regroup: bool = True,
+) -> ThreeWayReport:
+    """Drive one random workload through all three models at once.
+
+    The cycle-accurate :class:`CamSession`, the vectorized
+    :class:`~repro.core.batch.BatchSession` and the golden
+    :class:`ReferenceCam` process the identical operation stream; every
+    search/delete result is compared bit for bit across all three, and
+    the two sessions' cycle counters must agree after every operation.
+    This is the equivalence guarantee behind ``engine="batch"``.
+    """
+    from repro.core.batch import BatchSession
+
+    if operations < 1:
+        raise ConfigError(f"operations must be >= 1, got {operations}")
+    rng = np.random.default_rng(seed)
+    cycle_session = CamSession(config)
+    batch_session = BatchSession(config)
+    reference = ReferenceCam(cycle_session.capacity)
+    cam_type = config.block.cell.cam_type
+    width = config.data_width
+
+    report = ThreeWayReport(operations=operations, searches=0, updates=0,
+                            deletes=0, resets=0, regroups=0,
+                            simulated_cycles=0)
+
+    def fields(result):
+        return (result.hit, result.address, result.match_vector,
+                result.match_count)
+
+    def compare(index: int, kind: str, key: int, cycle_r, batch_r,
+                golden_r=None) -> None:
+        if fields(cycle_r) != fields(batch_r):
+            report.divergences.append(Divergence(
+                operation=index, kind=f"{kind} (batch)", key=key,
+                hardware=f"hit={cycle_r.hit} addr={cycle_r.address} "
+                         f"vec={cycle_r.match_vector:#x}",
+                reference=f"hit={batch_r.hit} addr={batch_r.address} "
+                          f"vec={batch_r.match_vector:#x}",
+            ))
+        if golden_r is not None and fields(cycle_r) != fields(golden_r):
+            report.divergences.append(Divergence(
+                operation=index, kind=f"{kind} (golden)", key=key,
+                hardware=f"hit={cycle_r.hit} addr={cycle_r.address} "
+                         f"vec={cycle_r.match_vector:#x}",
+                reference=f"hit={golden_r.hit} addr={golden_r.address} "
+                          f"vec={golden_r.match_vector:#x}",
+            ))
+
+    def check_cycles(index: int, kind: str) -> None:
+        if cycle_session.cycle != batch_session.cycle:
+            report.divergences.append(Divergence(
+                operation=index, kind=f"{kind} (cycles)", key=-1,
+                hardware=f"cycle-engine at {cycle_session.cycle}",
+                reference=f"batch-engine at {batch_session.cycle}",
+            ))
+
+    divisors = [d for d in range(1, config.num_blocks + 1)
+                if config.num_blocks % d == 0]
+
+    for index in range(operations):
+        free = reference.capacity - reference.occupancy
+        roll = rng.random()
+        if roll < 0.35 and free > 0:
+            batch = min(free, int(rng.integers(1, 5)))
+            entries = [_random_entry(rng, cam_type, width)
+                       for _ in range(batch)]
+            cycle_stats = cycle_session.update(entries)
+            batch_stats = batch_session.update(entries)
+            reference.update(entries)
+            if cycle_stats != batch_stats:
+                report.divergences.append(Divergence(
+                    operation=index, kind="update (stats)", key=-1,
+                    hardware=str(cycle_stats), reference=str(batch_stats),
+                ))
+            report.updates += 1
+        elif roll < 0.80:
+            count = int(rng.integers(1, 2 * cycle_session.num_groups + 2))
+            keys = [int(k) for k in rng.integers(0, 1 << width, count)]
+            cycle_results = cycle_session.search(keys)
+            batch_results = batch_session.search(keys)
+            golden_results = reference.search_many(keys)
+            for key, c_r, b_r, g_r in zip(keys, cycle_results,
+                                          batch_results, golden_results):
+                compare(index, "search", key, c_r, b_r, g_r)
+            if cycle_session.last_search_stats != batch_session.last_search_stats:
+                report.divergences.append(Divergence(
+                    operation=index, kind="search (stats)", key=-1,
+                    hardware=str(cycle_session.last_search_stats),
+                    reference=str(batch_session.last_search_stats),
+                ))
+            report.searches += 1
+        elif roll < 0.90 and reference.occupancy:
+            key = int(rng.integers(0, 1 << width))
+            compare(index, "delete", key,
+                    cycle_session.delete(key), batch_session.delete(key),
+                    reference.delete(key))
+            report.deletes += 1
+        elif roll < 0.95 and regroup and len(divisors) > 1:
+            target = int(divisors[rng.integers(0, len(divisors))])
+            cycle_session.set_groups(target)
+            batch_session.set_groups(target)
+            reference = ReferenceCam(cycle_session.capacity)
+            report.regroups += 1
+        else:
+            cycle_session.reset()
+            batch_session.reset()
+            reference.reset()
+            report.resets += 1
+        check_cycles(index, "op")
+        if cycle_session.occupancy != batch_session.occupancy:
+            report.divergences.append(Divergence(
+                operation=index, kind="occupancy", key=-1,
+                hardware=str(cycle_session.occupancy),
+                reference=str(batch_session.occupancy),
+            ))
+
+    report.simulated_cycles = cycle_session.cycle
     return report

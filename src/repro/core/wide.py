@@ -68,6 +68,8 @@ class WideCamSession:
         block_size: int = 64,
         bus_width: int = 512,
         default_groups: int = 1,
+        engine: str = "cycle",
+        **session_kwargs,
     ) -> None:
         if key_width <= LANE_WIDTH:
             raise ConfigError(
@@ -87,6 +89,8 @@ class WideCamSession:
                     default_groups=default_groups,
                 ),
                 name=f"lane{index}",
+                engine=engine,
+                **session_kwargs,
             )
             for index, lane_width in enumerate(self._lane_widths)
         ]
@@ -119,7 +123,7 @@ class WideCamSession:
 
     @property
     def search_latency(self) -> int:
-        return max(lane.unit.search_latency for lane in self.lanes)
+        return max(lane.search_latency for lane in self.lanes)
 
     @property
     def cycle(self) -> int:
@@ -128,7 +132,7 @@ class WideCamSession:
 
     def resources(self) -> ResourceVector:
         """Cost of all lanes together (k x one unit)."""
-        return total(lane.unit.resources() for lane in self.lanes)
+        return total(lane.resources() for lane in self.lanes)
 
     # ------------------------------------------------------------------
     def _coerce(self, word: Union[int, WideEntry]) -> WideEntry:

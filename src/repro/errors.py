@@ -52,6 +52,15 @@ class RoutingError(ReproError):
     """
 
 
+class AuditError(ReproError):
+    """The differential audit engine observed a batch/cycle divergence.
+
+    Raised (in strict mode) when the vectorized batch engine and the
+    cycle-accurate simulator disagree on a result or a cycle count for
+    the same operation sequence.
+    """
+
+
 class HdlGenError(ReproError):
     """Verilog generation failed (bad identifier, impossible template)."""
 

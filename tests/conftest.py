@@ -15,6 +15,24 @@ from repro.core import (
 )
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (deselect with -m 'not slow')"
+    )
+
+
+@pytest.fixture
+def cam_engine(request) -> str:
+    """Execution engine selected via ``--cam-engine`` (default: batch)."""
+    return request.config.getoption("--cam-engine")
+
+
+@pytest.fixture
+def audit_sample(request) -> float:
+    """Episode sampling rate selected via ``--audit-sample``."""
+    return request.config.getoption("--audit-sample")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for randomised (but reproducible) tests."""
