@@ -4,21 +4,73 @@ Each benchmark regenerates one table/figure of the paper, times it via
 pytest-benchmark, prints the rendered rows, and archives the output
 under ``benchmarks/results/`` so EXPERIMENTS.md can reference a
 reproducible artefact.
+
+Every benchmark module additionally emits a machine-readable manifest
+(``benchmarks/results/BENCH_<module>.json``, schema
+``repro.bench.manifest/v1``): per-test wall timings, the telemetry
+metrics collected during the run, and version/git provenance. See
+``docs/observability.md`` for the schema.
 """
 
 from __future__ import annotations
 
 import os
+import time
+from collections import defaultdict
+from typing import Dict
 
 import pytest
 
+from repro import obs
+
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: module name -> {test name -> wall seconds}, filled by the autouse timer.
+_MODULE_TIMINGS: Dict[str, Dict[str, float]] = defaultdict(dict)
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running benchmark (deselect with -m 'not slow')"
     )
+    # Collect metrics (not spans) across the whole benchmark run so the
+    # manifests carry the telemetry the instrumented code paths report.
+    obs.reset()
+    obs.enable(tracing=False)
+
+
+@pytest.fixture(autouse=True)
+def _bench_timer(request):
+    """Record per-test wall time for the module's run manifest."""
+    start = time.perf_counter()
+    yield
+    module = getattr(request.module, "__name__", "unknown")
+    _MODULE_TIMINGS[module][request.node.name] = time.perf_counter() - start
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write one ``BENCH_<module>.json`` manifest per benchmark module."""
+    if not _MODULE_TIMINGS:
+        return
+    config = {
+        "cam_engine": session.config.getoption("--cam-engine", default=None),
+        "audit_sample": session.config.getoption("--audit-sample",
+                                                 default=None),
+        "exitstatus": int(exitstatus),
+    }
+    # The registry is process-global, so every module manifest carries
+    # the full run's metrics snapshot alongside its own timings.
+    snapshot = obs.metrics().snapshot()
+    for module, timings in sorted(_MODULE_TIMINGS.items()):
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        manifest = obs.build_manifest(
+            name=name,
+            config=dict(config, module=module),
+            timings=timings,
+            metrics=snapshot,
+        )
+        obs.write_manifest(manifest, RESULTS_DIR)
+    obs.disable()
 
 
 @pytest.fixture

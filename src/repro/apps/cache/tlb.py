@@ -21,6 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro import obs
 from repro.core import CamSession, CamType, unit_for_entries
 from repro.errors import ConfigError
 
@@ -89,8 +90,10 @@ class CamTlb:
         self.stats.cycles += self.session.cycle - start
         if not result.hit:
             self.stats.misses += 1
+            obs.inc("tlb_misses_total", help="TLB lookups that missed")
             return None
         self.stats.hits += 1
+        obs.inc("tlb_hits_total", help="TLB lookups that hit")
         frame = self._frames.get(result.address)
         assert frame is not None, "CAM hit on an invalidated tag"
         return frame
@@ -113,6 +116,7 @@ class CamTlb:
         self._live[vpn] = address
         self.stats.insertions += 1
         self.stats.cycles += self.session.cycle - start
+        obs.inc("tlb_insertions_total", help="translations installed")
 
     # ------------------------------------------------------------------
     def _evict(self, vpn: int, count_eviction: bool) -> None:

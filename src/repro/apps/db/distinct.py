@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro import obs
 from repro.core import CamSession, CamType, unit_for_entries
 from repro.errors import CapacityError
 
@@ -70,27 +71,33 @@ class CamDistinct:
         Raises :class:`CapacityError` when the distinct set outgrows
         the CAM.
         """
-        start = self.session.cycle
-        unique: List[int] = []
-        for value in values:
-            value = int(value)
-            result = self.session.search_one(value)
-            if result.hit:
-                continue
-            if len(unique) >= self.capacity:
-                raise CapacityError(
-                    f"distinct set exceeds the CAM capacity ({self.capacity})"
-                )
-            # Dependent insert: completes (update_done) before the next
-            # element's search is issued, closing the read-after-write
-            # hazard window.
-            self.session.update([value])
-            unique.append(value)
-        stats = DistinctStats(
-            input_rows=len(values),
-            unique_rows=len(unique),
-            cycles=self.session.cycle - start,
-        )
+        with obs.span("db.distinct", rows=len(values)) as span:
+            start = self.session.cycle
+            unique: List[int] = []
+            for value in values:
+                value = int(value)
+                result = self.session.search_one(value)
+                if result.hit:
+                    continue
+                if len(unique) >= self.capacity:
+                    raise CapacityError(
+                        f"distinct set exceeds the CAM capacity ({self.capacity})"
+                    )
+                # Dependent insert: completes (update_done) before the next
+                # element's search is issued, closing the read-after-write
+                # hazard window.
+                self.session.update([value])
+                unique.append(value)
+            stats = DistinctStats(
+                input_rows=len(values),
+                unique_rows=len(unique),
+                cycles=self.session.cycle - start,
+            )
+            span.set(unique_rows=len(unique))
+        if obs.enabled():
+            obs.inc("db_distinct_rows_total", stats.input_rows,
+                    help="rows streamed through CAM distinct")
+            obs.inc("db_distinct_unique_rows_total", stats.unique_rows)
         return unique, stats
 
     def reset(self) -> None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from repro import obs
 from repro.core import CamSession, CamType, unit_for_entries
 from repro.errors import ConfigError
 
@@ -72,31 +73,38 @@ class CamJoin:
         probe_keys = [int(key) for key in probe_keys]
         if not build_keys:
             raise ConfigError("join needs a non-empty build side")
-        start = self.session.cycle
-        pairs: List[Tuple[int, int]] = []
-        passes = 0
-        for offset in range(0, len(build_keys), self.capacity):
-            tile = build_keys[offset:offset + self.capacity]
-            self.session.reset()
-            self.session.update(tile)
-            passes += 1
-            if not probe_keys:
-                continue
-            results = self.session.search(probe_keys)
-            for probe_index, result in enumerate(results):
-                vector = result.match_vector
-                while vector:
-                    low = vector & -vector
-                    address = low.bit_length() - 1
-                    pairs.append((probe_index, offset + address))
-                    vector ^= low
-        stats = JoinStats(
-            build_rows=len(build_keys),
-            probe_rows=len(probe_keys),
-            output_rows=len(pairs),
-            passes=passes,
-            cycles=self.session.cycle - start,
-        )
+        with obs.span("db.join", build=len(build_keys),
+                      probe=len(probe_keys)) as span:
+            start = self.session.cycle
+            pairs: List[Tuple[int, int]] = []
+            passes = 0
+            for offset in range(0, len(build_keys), self.capacity):
+                tile = build_keys[offset:offset + self.capacity]
+                self.session.reset()
+                self.session.update(tile)
+                passes += 1
+                if not probe_keys:
+                    continue
+                results = self.session.search(probe_keys)
+                for probe_index, result in enumerate(results):
+                    vector = result.match_vector
+                    while vector:
+                        low = vector & -vector
+                        address = low.bit_length() - 1
+                        pairs.append((probe_index, offset + address))
+                        vector ^= low
+            stats = JoinStats(
+                build_rows=len(build_keys),
+                probe_rows=len(probe_keys),
+                output_rows=len(pairs),
+                passes=passes,
+                cycles=self.session.cycle - start,
+            )
+            span.set(output_rows=len(pairs), passes=passes)
+        if obs.enabled():
+            obs.inc("db_joins_total", help="hash-free CAM joins executed")
+            obs.inc("db_join_output_rows_total", len(pairs))
+            obs.inc("db_join_cycles_total", stats.cycles)
         return pairs, stats
 
 

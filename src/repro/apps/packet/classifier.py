@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.apps.packet.ranges import expand_range
 from repro.core import CamSession, CamType, unit_for_entries
 from repro.core.mask import CamEntry, ternary_entry
@@ -169,13 +170,24 @@ class PacketClassifier:
     def classify(self, packet: Packet) -> Optional[Rule]:
         """First matching rule in priority order, or None (no match)."""
         result = self.session.search_one(packet.key())
+        obs.inc("packet_lookups_total",
+                help="packets classified against the TCAM rule set")
         if not result.hit:
+            obs.inc("packet_misses_total",
+                    help="packets matching no classifier rule")
             return None
         return self._rules[self._entry_rule[result.address]]
 
     def classify_batch(self, packets) -> List[Optional[Rule]]:
         """Pipelined classification of a packet burst."""
-        results = self.session.search([packet.key() for packet in packets])
+        with obs.span("packet.classify_batch", packets=len(packets)):
+            results = self.session.search(
+                [packet.key() for packet in packets]
+            )
+        if obs.enabled():
+            obs.inc("packet_lookups_total", len(results))
+            obs.inc("packet_misses_total",
+                    sum(1 for result in results if not result.hit))
         return [
             self._rules[self._entry_rule[result.address]] if result.hit else None
             for result in results

@@ -24,6 +24,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core import CamSession, CamType, unit_for_entries
 from repro.errors import CapacityError
 
@@ -110,14 +111,26 @@ class CamIntersector:
                 f"longer list ({len(longer)}) exceeds the CAM capacity "
                 f"({self.config.total_entries}); tile it first"
             )
-        start = self.session.cycle
-        m = self.groups_for(len(longer))
-        self.session.set_groups(m)
-        self.session.update(longer)
-        results = self.session.search(shorter)
-        common = sum(1 for result in results if result.hit)
-        cycles = self.session.cycle - start
-        self.session.reset()
+        with obs.span("tc.intersect", engine=self.engine,
+                      stored=len(longer), streamed=len(shorter)) as span:
+            start = self.session.cycle
+            m = self.groups_for(len(longer))
+            self.session.set_groups(m)
+            self.session.update(longer)
+            results = self.session.search(shorter)
+            common = sum(1 for result in results if result.hit)
+            cycles = self.session.cycle - start
+            self.session.reset()
+            span.set(groups=m, common=common, cycles=cycles)
+        if obs.enabled():
+            obs.inc("tc_intersections_total",
+                    help="CAM-backed set intersections executed",
+                    engine=self.engine)
+            obs.inc("tc_intersection_matches_total", common,
+                    engine=self.engine)
+            obs.observe("tc_intersection_cycles", cycles,
+                        help="simulated cycles per set intersection",
+                        engine=self.engine)
         return common, cycles
 
 

@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.apps.tc.accelerator import CamTriangleCounter
 from repro.apps.tc.baseline import MergeTriangleCounter
 from repro.apps.tc.intersect import CamIntersector, merge_intersect
@@ -63,12 +64,16 @@ def run_dataset(
 ) -> TcRow:
     """Run one Table IX row on the dataset's synthetic stand-in."""
     spec = get_dataset(dataset) if isinstance(dataset, str) else dataset
-    standin = spec.standin(max_edges=max_edges, seed=seed)
-    graph = standin.graph
+    with obs.span("tc.dataset", name=spec.name, max_edges=max_edges):
+        standin = spec.standin(max_edges=max_edges, seed=seed)
+        graph = standin.graph
     cam = cam if cam is not None else CamTriangleCounter()
     baseline = baseline if baseline is not None else MergeTriangleCounter()
-    cam_cost = cam.cost(graph)
-    merge_cost = baseline.cost(graph)
+    with obs.span("tc.cost_model", name=spec.name, accelerator="cam"):
+        cam_cost = cam.cost(graph)
+    with obs.span("tc.cost_model", name=spec.name, accelerator="merge"):
+        merge_cost = baseline.cost(graph)
+    obs.inc("tc_rows_total", help="Table IX rows evaluated")
     return TcRow(
         dataset=spec.name,
         scale=standin.scale,
@@ -132,19 +137,23 @@ def verify_functional_equivalence(
     cam = intersector if intersector is not None else CamIntersector(engine=engine)
     picks = rng.choice(src.size, size=min(sample_edges, src.size), replace=False)
     verified = 0
-    for index in picks:
-        u, v = int(src[index]), int(dst[index])
-        list_u = oriented.neighbors(u).tolist()
-        list_v = oriented.neighbors(v).tolist()
-        if max(len(list_u), len(list_v)) > cam.config.total_entries:
-            continue
-        if not list_u or not list_v:
-            continue
-        expected, _steps = merge_intersect(sorted(list_u), sorted(list_v))
-        got, _cycles = cam.intersect(list_u, list_v)
-        assert got == expected, (
-            f"CAM intersection diverged on edge ({u}, {v}): "
-            f"cam={got} merge={expected}"
-        )
-        verified += 1
+    with obs.span("tc.verify", sampled_edges=int(picks.size)) as span:
+        for index in picks:
+            u, v = int(src[index]), int(dst[index])
+            list_u = oriented.neighbors(u).tolist()
+            list_v = oriented.neighbors(v).tolist()
+            if max(len(list_u), len(list_v)) > cam.config.total_entries:
+                continue
+            if not list_u or not list_v:
+                continue
+            expected, _steps = merge_intersect(sorted(list_u), sorted(list_v))
+            got, _cycles = cam.intersect(list_u, list_v)
+            assert got == expected, (
+                f"CAM intersection diverged on edge ({u}, {v}): "
+                f"cam={got} merge={expected}"
+            )
+            verified += 1
+        span.set(verified=verified)
+    obs.inc("tc_verified_edges_total", verified,
+            help="edges functionally cross-checked CAM vs merge")
     return verified

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.apps.tc.intersect import CamIntersector
 from repro.errors import CapacityError
 from repro.graph.csr import CSRGraph
@@ -84,27 +85,42 @@ def simulate_system(
     if max_edges is not None:
         edges = edges[:max_edges]
 
-    for u, v in edges:
-        list_u = oriented.neighbors(u).tolist()
-        list_v = oriented.neighbors(v).tolist()
-        if not list_u or not list_v:
+    with obs.span("tc.system", engine=engine, edges=len(edges)) as run_span:
+        for u, v in edges:
+            list_u = oriented.neighbors(u).tolist()
+            list_v = oriented.neighbors(v).tolist()
+            if not list_u or not list_v:
+                processed += 1
+                continue
+            if max(len(list_u), len(list_v)) > total_entries:
+                skipped += 1
+                continue
+
+            # DDR fetch of both lists plus the two offset/length words.
+            with obs.span("tc.fetch_lists",
+                          words=len(list_u) + len(list_v) + 4):
+                fetch_bytes = bus.bytes_for_words(
+                    len(list_u) + len(list_v) + 4
+                )
+                stall = channel.stream_cycles(fetch_bytes, frequency_mhz)
+                session.idle(stall)
+                memory_stalls += stall
+
+            common, _cycles = intersector.intersect(list_u, list_v)
+            triangles += common
             processed += 1
-            continue
-        if max(len(list_u), len(list_v)) > total_entries:
-            skipped += 1
-            continue
-
-        # DDR fetch of both lists plus the two offset/length words.
-        fetch_bytes = bus.bytes_for_words(len(list_u) + len(list_v) + 4)
-        stall = channel.stream_cycles(fetch_bytes, frequency_mhz)
-        session.idle(stall)
-        memory_stalls += stall
-
-        common, _cycles = intersector.intersect(list_u, list_v)
-        triangles += common
-        processed += 1
+        run_span.set(triangles=triangles, skipped=skipped)
 
     total = session.cycle
+    if obs.enabled():
+        obs.inc("tc_edges_processed_total", processed,
+                help="oriented edges driven through the system dataflow")
+        obs.inc("tc_edges_skipped_total", skipped,
+                help="edges skipped for exceeding the CAM capacity")
+        obs.inc("tc_triangles_total", triangles,
+                help="triangles counted by the system dataflow")
+        obs.inc("tc_memory_stall_cycles_total", memory_stalls,
+                help="cycles the system stalled on the DDR model")
     return SystemRun(
         triangles=triangles,
         total_cycles=total,

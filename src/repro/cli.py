@@ -10,20 +10,45 @@ Subcommands:
 - ``audit``                      -- differential equivalence check of the
   vectorized batch engine against the cycle-accurate simulator and the
   golden reference model
+- ``metrics``                    -- run an instrumented workload and dump
+  the metrics registry (Prometheus text + JSON)
+- ``trace``                      -- run a traced workload and write a
+  Chrome trace-event JSON (open in Perfetto)
+- ``validate-manifest``          -- schema-check a ``BENCH_*.json`` file
+
+``demo``, ``tc`` and ``audit`` accept ``--trace-out PATH`` to capture
+their span tree, and ``demo`` additionally ``--manifest-out PATH``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from typing import List, Optional
 
-from repro import __version__
+from repro import __version__, obs
 from repro.bench.experiments import ALL_EXHIBITS
 from repro.core import CamSession, CamType, unit_for_entries
 from repro.errors import ReproError
 from repro.graph.datasets import dataset_names
 from repro.hdlgen import write_project
+
+
+def _version_string() -> str:
+    sha = obs.git_sha()
+    suffix = f" (git {sha[:12]})" if sha else ""
+    return f"repro {obs.package_version()}{suffix}"
+
+
+def _write_trace(trace_out: Optional[str]) -> None:
+    """Dump the global tracer to ``trace_out`` when requested."""
+    if not trace_out:
+        return
+    spans = obs.tracer().write_chrome(trace_out)
+    print(f"wrote {spans} spans "
+          f"({len(obs.tracer().events)} trace events) to {trace_out}")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,7 +57,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Configurable DSP-based CAM for FPGAs (DAC 2025) - "
                     "reference reproduction",
     )
-    parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument("--version", action="version",
+                        version=_version_string())
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("info", help="print library and model summary")
@@ -55,11 +81,18 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--engine", choices=["cycle", "batch", "audit"],
                       default="cycle",
                       help="execution engine (see repro.core.batch)")
+    demo.add_argument("--trace-out", default=None, metavar="PATH",
+                      help="write a Chrome trace of the run (Perfetto)")
+    demo.add_argument("--manifest-out", default=None, metavar="PATH",
+                      help="write a BENCH-style run manifest (JSON)")
 
     tc = sub.add_parser("tc", help="triangle-counting case study")
     tc.add_argument("--dataset", choices=dataset_names() + ["all"],
                     default="all")
     tc.add_argument("--max-edges", type=int, default=60_000)
+    tc.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="write a Chrome trace of the pipeline (includes a "
+                         "functional cross-check on the real CAM)")
 
     audit = sub.add_parser(
         "audit",
@@ -73,6 +106,34 @@ def _build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--groups", type=int, default=2)
     audit.add_argument("--operations", type=int, default=200)
     audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace of the audit run")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run an instrumented workload and dump the metrics registry",
+    )
+    metrics.add_argument("--engine", choices=["cycle", "batch", "audit"],
+                         default="cycle")
+    metrics.add_argument("--format", dest="fmt",
+                         choices=["prometheus", "json", "both"],
+                         default="both")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced workload and write Chrome trace-event JSON",
+    )
+    trace.add_argument("--out", default="repro_trace.json")
+    trace.add_argument("--engine", choices=["cycle", "batch", "audit"],
+                       default="cycle")
+    trace.add_argument("--sample", type=float, default=1.0,
+                       help="fraction of root spans to keep (0..1)")
+
+    validate = sub.add_parser(
+        "validate-manifest",
+        help="schema-check a BENCH_*.json benchmark manifest",
+    )
+    validate.add_argument("path")
 
     sweep = sub.add_parser("sweep", help="measure a custom size sweep")
     sweep.add_argument("level", choices=["block", "unit"])
@@ -129,7 +190,13 @@ def _cmd_generate_hdl(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_demo(entries: int, groups: int, engine: str = "cycle") -> int:
+def _cmd_demo(entries: int, groups: int, engine: str = "cycle",
+              trace_out: Optional[str] = None,
+              manifest_out: Optional[str] = None) -> int:
+    if trace_out or manifest_out:
+        obs.reset()
+        obs.enable(tracing=bool(trace_out))
+    start = time.perf_counter()
     session = CamSession(unit_for_entries(
         entries, block_size=64, data_width=32, default_groups=groups,
         cam_type=CamType.BINARY,
@@ -145,16 +212,55 @@ def _cmd_demo(entries: int, groups: int, engine: str = "cycle") -> int:
     print(f"search of {len(probes)} keys took "
           f"{session.last_search_stats.cycles} cycles "
           f"({groups} concurrent queries/cycle)")
+    wall_s = time.perf_counter() - start
+    _write_trace(trace_out)
+    if manifest_out:
+        from repro.core.stats import collect_stats, publish_stats
+
+        unit = getattr(session, "unit", None)
+        if unit is not None:
+            publish_stats(collect_stats(unit))
+        manifest = obs.build_manifest(
+            name="cli_demo",
+            config={"entries": entries, "groups": groups, "engine": engine},
+            timings={"wall_s": wall_s},
+            metrics=obs.metrics().snapshot(),
+        )
+        with open(manifest_out, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote manifest to {manifest_out}")
+    if trace_out or manifest_out:
+        obs.disable()
     return 0
 
 
-def _cmd_tc(dataset: str, max_edges: int) -> int:
-    from repro.apps.tc import arithmetic_mean_speedup, run_all, run_dataset
+def _cmd_tc(dataset: str, max_edges: int,
+            trace_out: Optional[str] = None) -> int:
+    from repro.apps.tc import (
+        arithmetic_mean_speedup,
+        run_all,
+        run_dataset,
+        verify_functional_equivalence,
+    )
+    from repro.graph.datasets import get_dataset
 
+    if trace_out:
+        obs.reset()
+        obs.enable(tracing=True)
     if dataset == "all":
         rows = run_all(max_edges=max_edges)
     else:
         rows = [run_dataset(dataset, max_edges=max_edges)]
+    if trace_out:
+        # Drive the real cycle-accurate CAM on sampled edges so the
+        # trace shows the full nesting: tc.verify -> tc.intersect ->
+        # session.search/update -> unit.* engine spans.
+        spec = get_dataset(dataset_names()[0] if dataset == "all" else dataset)
+        standin = spec.standin(max_edges=min(max_edges, 4000))
+        verified = verify_functional_equivalence(standin.graph, sample_edges=4)
+        print(f"functional cross-check on {spec.name}: "
+              f"{verified} edges verified on the cycle-accurate CAM")
     print(f"{'dataset':20s} {'edges':>9s} {'triangles':>10s} "
           f"{'ours ms':>9s} {'base ms':>9s} {'speedup':>7s} {'paper':>6s}")
     for row in rows:
@@ -164,6 +270,9 @@ def _cmd_tc(dataset: str, max_edges: int) -> int:
     if len(rows) > 1:
         print(f"average speedup: {arithmetic_mean_speedup(rows):.2f} "
               "(paper: 4.92)")
+    if trace_out:
+        _write_trace(trace_out)
+        obs.disable()
     return 0
 
 
@@ -196,6 +305,9 @@ def _cmd_sweep(level: str, sizes_csv: str, data_width: int) -> int:
 def _cmd_audit(args: argparse.Namespace) -> int:
     from repro.core import check_equivalence, check_three_way
 
+    if args.trace_out:
+        obs.reset()
+        obs.enable(tracing=True)
     config = unit_for_entries(
         args.entries,
         block_size=args.block_size,
@@ -213,7 +325,79 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     audit = check_equivalence(config, operations=args.operations,
                               seed=args.seed, engine="audit")
     print(f"audit engine vs golden:               {audit.summary()}")
+    if args.trace_out:
+        _write_trace(args.trace_out)
+        obs.disable()
     return 0 if (three_way.passed and audit.passed) else 1
+
+
+def _run_sample_workload(engine: str) -> CamSession:
+    """The built-in workload ``metrics`` / ``trace`` instrument.
+
+    Exercises update, search (hits and misses), delete-by-content and a
+    regroup so every instrumented counter family fires.
+    """
+    session = CamSession(unit_for_entries(
+        256, block_size=64, data_width=32, default_groups=2,
+        cam_type=CamType.BINARY,
+    ), engine=engine)
+    words = list(range(100, 196))
+    session.update(words)
+    session.search(words[:48] + [10**6, 10**6 + 1])
+    session.delete(words[0])
+    session.search([words[0], words[1]])
+    return session
+
+
+def _cmd_metrics(engine: str, fmt: str) -> int:
+    from repro.core.stats import collect_stats, publish_stats
+
+    obs.reset()
+    obs.enable(tracing=False)
+    session = _run_sample_workload(engine)
+    unit = getattr(session, "unit", None)
+    if unit is not None:
+        publish_stats(collect_stats(unit))
+    obs.disable()
+    if fmt in ("prometheus", "both"):
+        print(obs.metrics().to_prometheus(), end="")
+    if fmt == "both":
+        print()
+    if fmt in ("json", "both"):
+        print(obs.metrics().to_json())
+    return 0
+
+
+def _cmd_trace(out_path: str, engine: str, sample: float) -> int:
+    obs.reset()
+    obs.enable(tracing=True, sample=sample)
+    session = _run_sample_workload(engine)
+    obs.disable()
+    # Unify the cycle-accurate waveform with the span timeline: rerun a
+    # tiny scenario with signal tracing on and project it onto the
+    # simulator track of the same Chrome trace.
+    sim_session = CamSession(
+        unit_for_entries(64, block_size=16, data_width=32, bus_width=128,
+                         default_groups=2),
+        trace=True,
+    )
+    sim_session.update([0xAA, 0xBB])
+    sim_session.search([0xBB])
+    obs.tracer().add_sim_trace(sim_session.trace)
+    _write_trace(out_path)
+    return 0
+
+
+def _cmd_validate_manifest(path: str) -> int:
+    manifest = obs.load_manifest(path)
+    meta = manifest["meta"]
+    print(f"{path}: valid ({manifest['schema']})")
+    print(f"  name: {manifest['name']}")
+    print(f"  version: {meta['version']}  git: {meta['git_sha']}  "
+          f"python: {meta['python']}")
+    print(f"  timings: {len(manifest['timings'])}  "
+          f"metric families: {len(manifest['metrics'])}")
+    return 0
 
 
 def _cmd_vcd(out_path: str) -> int:
@@ -244,11 +428,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.command == "generate-hdl":
             return _cmd_generate_hdl(args)
         if args.command == "demo":
-            return _cmd_demo(args.entries, args.groups, args.engine)
+            return _cmd_demo(args.entries, args.groups, args.engine,
+                             args.trace_out, args.manifest_out)
         if args.command == "tc":
-            return _cmd_tc(args.dataset, args.max_edges)
+            return _cmd_tc(args.dataset, args.max_edges, args.trace_out)
         if args.command == "audit":
             return _cmd_audit(args)
+        if args.command == "metrics":
+            return _cmd_metrics(args.engine, args.fmt)
+        if args.command == "trace":
+            return _cmd_trace(args.out, args.engine, args.sample)
+        if args.command == "validate-manifest":
+            return _cmd_validate_manifest(args.path)
         if args.command == "sweep":
             return _cmd_sweep(args.level, args.sizes, args.data_width)
         if args.command == "vcd":

@@ -58,7 +58,7 @@ from repro.core.mask import (
 from repro.core.reference import ReferenceCam
 from repro.core.routing import PostRouter, RoutingCompute, RoutingTable
 from repro.core.session import CamSession, SearchStats, UpdateStats
-from repro.core.stats import BlockStats, UnitStats, collect_stats
+from repro.core.stats import BlockStats, UnitStats, collect_stats, publish_stats
 from repro.core.types import CamType, Encoding, OpKind, SearchResult, UpdateReceipt
 from repro.core.unit import CamUnit
 from repro.core.verification import (
@@ -125,6 +125,7 @@ __all__ = [
     "measure_unit_performance",
     "our_survey_row",
     "pack_match_bits",
+    "publish_stats",
     "range_entry",
     "ternary_entry",
     "ternary_entry_from_pattern",

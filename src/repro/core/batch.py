@@ -42,14 +42,23 @@ or :func:`open_session`:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Type, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import UnitConfig
 from repro.core.mask import CamEntry, binary_entry
-from repro.core.session import CamSession, RawWord, SearchStats, UpdateStats
+from repro.core.session import (
+    CamSession,
+    RawWord,
+    SearchStats,
+    UpdateStats,
+    publish_search_metrics,
+    publish_update_metrics,
+)
 from repro.core.types import CamType, SearchResult
 from repro.dsp.primitives import DSP_WIDTH, mask_for
 from repro.fabric.area import unit_resources
@@ -274,6 +283,19 @@ class BatchSession(CamSession):
         words = list(words)
         if not words:
             raise ConfigError("update needs at least one word")
+        t0 = time.perf_counter() if obs.enabled() else 0.0
+        with obs.span("session.update", engine=self.engine_name,
+                      words=len(words)):
+            stats = self._update_inner(words, group)
+        self.last_update_stats = stats
+        if obs.enabled():
+            publish_update_metrics(self, stats,
+                                   wall_s=time.perf_counter() - t0)
+        return stats
+
+    def _update_inner(
+        self, words: List[RawWord], group: Optional[int]
+    ) -> UpdateStats:
         targets = self._update_targets(group)
         values, cares = self._coerce_arrays(words)
         per_beat = self.config.words_per_beat
@@ -297,13 +319,12 @@ class BatchSession(CamSession):
                     f"{overflow} more words "
                     f"({store.fill}/{capacity} used)"
                 )
-        for store_index in targets:
-            self._stores[store_index].append(values, cares)
+        with obs.span("unit.update", beats=beats):
+            for store_index in targets:
+                self._stores[store_index].append(values, cares)
         cycles = beats + self.config.update_latency - 1
         self._cycle += cycles
-        stats = UpdateStats(words=len(words), beats=beats, cycles=cycles)
-        self.last_update_stats = stats
-        return stats
+        return UpdateStats(words=len(words), beats=beats, cycles=cycles)
 
     def _validate_groups(self, groups: Sequence[int]) -> List[int]:
         group_ids = [int(g) for g in groups]
@@ -330,58 +351,75 @@ class BatchSession(CamSession):
         keys = list(keys)
         if not keys:
             raise ConfigError("search needs at least one key")
-        if groups is None:
-            per_beat = self._num_groups
-            group_ids = list(range(per_beat))
-        else:
-            group_ids = self._validate_groups(groups)
-            per_beat = len(group_ids)
-        raw_keys = [int(key) for key in keys]
-        masked = np.asarray(raw_keys, dtype=np.int64) & _FULL
-        encoding = self.config.block.encoding
+        t0 = time.perf_counter() if obs.enabled() else 0.0
+        with obs.span("session.search", engine=self.engine_name,
+                      keys=len(keys)):
+            if groups is None:
+                per_beat = self._num_groups
+                group_ids = list(range(per_beat))
+            else:
+                group_ids = self._validate_groups(groups)
+                per_beat = len(group_ids)
+            raw_keys = [int(key) for key in keys]
+            masked = np.asarray(raw_keys, dtype=np.int64) & _FULL
+            encoding = self.config.block.encoding
 
-        results: List[Optional[SearchResult]] = [None] * len(keys)
-        if self.config.replicate_updates:
-            # Every group answers from the same content: one matrix.
-            matrix = self._stores[0].match_matrix(masked)
-            for index, key in enumerate(raw_keys):
-                results[index] = SearchResult.from_vector(
-                    key, _vector_from_row(matrix[index]), encoding
-                )
-        else:
-            key_groups = np.asarray(
-                [group_ids[index % per_beat] for index in range(len(keys))]
-            )
-            for g in set(key_groups.tolist()):
-                picks = np.flatnonzero(key_groups == g)
-                matrix = self._stores[g].match_matrix(masked[picks])
-                for row, index in enumerate(picks):
-                    results[index] = SearchResult.from_vector(
-                        raw_keys[index], _vector_from_row(matrix[row]), encoding
+            results: List[Optional[SearchResult]] = [None] * len(keys)
+            with obs.span("unit.search", keys=len(keys)):
+                if self.config.replicate_updates:
+                    # Every group answers from the same content: one matrix.
+                    matrix = self._stores[0].match_matrix(masked)
+                    for index, key in enumerate(raw_keys):
+                        results[index] = SearchResult.from_vector(
+                            key, _vector_from_row(matrix[index]), encoding
+                        )
+                else:
+                    key_groups = np.asarray(
+                        [group_ids[index % per_beat]
+                         for index in range(len(keys))]
                     )
+                    for g in set(key_groups.tolist()):
+                        picks = np.flatnonzero(key_groups == g)
+                        matrix = self._stores[g].match_matrix(masked[picks])
+                        for row, index in enumerate(picks):
+                            results[index] = SearchResult.from_vector(
+                                raw_keys[index], _vector_from_row(matrix[row]),
+                                encoding,
+                            )
 
-        beats = -(-len(keys) // per_beat)
-        cycles = beats + self.config.search_latency - 1
-        self._cycle += cycles
-        stats = SearchStats(keys=len(keys), beats=beats, cycles=cycles)
+            beats = -(-len(keys) // per_beat)
+            cycles = beats + self.config.search_latency - 1
+            self._cycle += cycles
+            stats = SearchStats(keys=len(keys), beats=beats, cycles=cycles)
         self.last_search_stats = stats
+        if obs.enabled():
+            publish_search_metrics(
+                self, stats,
+                hits=sum(1 for r in results if r is not None and r.hit),
+                wall_s=time.perf_counter() - t0,
+            )
         return results  # type: ignore[return-value]
 
     def delete(self, key: int) -> SearchResult:
         """Delete-by-content: invalidate matches in every group."""
-        raw = int(key)
-        masked = np.asarray([raw], dtype=np.int64) & _FULL
-        encoding = self.config.block.encoding
-        first = self._stores[0].match_matrix(masked)[0]
-        result = SearchResult.from_vector(raw, _vector_from_row(first), encoding)
-        seen = set()
-        for store in self._stores:
-            if id(store) in seen:
-                continue
-            seen.add(id(store))
-            row = store.match_matrix(masked)[0]
-            store.live[: row.size][row] = False
-        self._cycle += self.config.search_latency
+        with obs.span("session.delete", engine=self.engine_name):
+            raw = int(key)
+            masked = np.asarray([raw], dtype=np.int64) & _FULL
+            encoding = self.config.block.encoding
+            first = self._stores[0].match_matrix(masked)[0]
+            result = SearchResult.from_vector(
+                raw, _vector_from_row(first), encoding
+            )
+            seen = set()
+            for store in self._stores:
+                if id(store) in seen:
+                    continue
+                seen.add(id(store))
+                row = store.match_matrix(masked)[0]
+                store.live[: row.size][row] = False
+            self._cycle += self.config.search_latency
+        obs.inc("cam_deletes_total", help="delete-by-content transactions",
+                engine=self.engine_name)
         return result
 
     # ------------------------------------------------------------------
@@ -394,6 +432,8 @@ class BatchSession(CamSession):
         self._num_groups = num_groups
         self._init_stores()
         self._cycle += self.config.update_latency + 2
+        obs.inc("cam_regroups_total", help="runtime group reconfigurations",
+                engine=self.engine_name)
 
     def reset(self) -> None:
         seen = set()
@@ -402,6 +442,9 @@ class BatchSession(CamSession):
                 seen.add(id(store))
                 store.clear()
         self._cycle += self.config.update_latency + 2
+        obs.inc("cam_episodes_total",
+                help="reset-bounded content episodes completed",
+                engine=self.engine_name)
 
     def idle(self, cycles: int = 1) -> None:
         self._cycle += cycles
@@ -491,6 +534,9 @@ class AuditSession(BatchSession):
 
     def _diverge(self, operation: str, detail: str) -> None:
         self.audit_report.divergences.append(AuditDivergence(operation, detail))
+        obs.inc("cam_audit_divergences_total",
+                help="batch/cycle disagreements caught by the audit engine",
+                op=operation)
         if self.strict:
             raise AuditError(
                 f"{self.name}: batch/cycle divergence in {operation}: {detail}"
@@ -534,6 +580,9 @@ class AuditSession(BatchSession):
         if self._auditing:
             shadow_stats = self.shadow.update(words, group=group)
             self.audit_report.ops_audited += 1
+            obs.inc("cam_audit_ops_total",
+                    help="operations seen by the audit engine",
+                    mode="audited")
             if (stats.words, stats.beats, stats.cycles) != (
                 shadow_stats.words, shadow_stats.beats, shadow_stats.cycles
             ):
@@ -543,6 +592,7 @@ class AuditSession(BatchSession):
                 )
         else:
             self.audit_report.ops_fast_only += 1
+            obs.inc("cam_audit_ops_total", mode="fast_only")
         return stats
 
     def search(
@@ -555,6 +605,9 @@ class AuditSession(BatchSession):
         if self._auditing:
             shadow_results = self.shadow.search(keys, groups=groups)
             self.audit_report.ops_audited += 1
+            obs.inc("cam_audit_ops_total",
+                    help="operations seen by the audit engine",
+                    mode="audited")
             self._compare_results("search", results, shadow_results)
             fast_stats = self.last_search_stats
             slow_stats = self.shadow.last_search_stats
@@ -566,6 +619,7 @@ class AuditSession(BatchSession):
                 )
         else:
             self.audit_report.ops_fast_only += 1
+            obs.inc("cam_audit_ops_total", mode="fast_only")
         return results
 
     def delete(self, key: int) -> SearchResult:
@@ -575,6 +629,9 @@ class AuditSession(BatchSession):
             shadow_before = self.shadow.cycle
             shadow_result = self.shadow.delete(key)
             self.audit_report.ops_audited += 1
+            obs.inc("cam_audit_ops_total",
+                    help="operations seen by the audit engine",
+                    mode="audited")
             self._compare_results("delete", [result], [shadow_result])
             if self._cycle - before != self.shadow.cycle - shadow_before:
                 self._diverge(
@@ -584,6 +641,7 @@ class AuditSession(BatchSession):
                 )
         else:
             self.audit_report.ops_fast_only += 1
+            obs.inc("cam_audit_ops_total", mode="fast_only")
         return result
 
     def set_groups(self, num_groups: int) -> None:

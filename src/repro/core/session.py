@@ -13,9 +13,11 @@ callers can derive latency and throughput from real simulated cycles.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
+from repro import obs
 from repro.core.config import UnitConfig
 from repro.core.mask import CamEntry, binary_entry
 from repro.core.types import CamType, SearchResult
@@ -42,6 +44,53 @@ class SearchStats:
     keys: int
     beats: int
     cycles: int
+
+
+# ----------------------------------------------------------------------
+# telemetry publication (shared by every execution engine)
+# ----------------------------------------------------------------------
+def publish_update_metrics(session: "CamSession", stats: UpdateStats,
+                           wall_s: Optional[float] = None) -> None:
+    """Record one update transaction into the global metrics registry."""
+    if not obs.enabled():
+        return
+    engine = session.engine_name
+    obs.inc("cam_updates_total", 1,
+            help="CAM update transactions", engine=engine)
+    obs.inc("cam_update_words_total", stats.words, engine=engine)
+    obs.inc("cam_update_beats_total", stats.beats, engine=engine)
+    obs.inc("cam_update_cycles_total", stats.cycles, engine=engine)
+    obs.observe("cam_update_latency_cycles", stats.cycles,
+                help="per-update-call latency in simulated cycles",
+                engine=engine)
+    obs.set_gauge("cam_occupancy_entries", session.occupancy,
+                  help="stored words per logical group", engine=engine)
+    if wall_s is not None:
+        obs.observe("cam_op_wall_seconds", wall_s,
+                    help="host wall-time per CAM transaction",
+                    buckets=obs.SECONDS_BUCKETS, op="update", engine=engine)
+
+
+def publish_search_metrics(session: "CamSession", stats: SearchStats,
+                           hits: int,
+                           wall_s: Optional[float] = None) -> None:
+    """Record one search transaction into the global metrics registry."""
+    if not obs.enabled():
+        return
+    engine = session.engine_name
+    obs.inc("cam_searches_total", 1,
+            help="CAM search transactions", engine=engine)
+    obs.inc("cam_search_keys_total", stats.keys, engine=engine)
+    obs.inc("cam_search_beats_total", stats.beats, engine=engine)
+    obs.inc("cam_search_cycles_total", stats.cycles, engine=engine)
+    obs.inc("cam_search_hits_total", hits,
+            help="keys that matched at least one entry", engine=engine)
+    obs.observe("cam_search_latency_cycles", stats.cycles,
+                help="per-search-call latency in simulated cycles",
+                engine=engine)
+    if wall_s is not None:
+        obs.observe("cam_op_wall_seconds", wall_s,
+                    buckets=obs.SECONDS_BUCKETS, op="search", engine=engine)
 
 
 class CamSession:
@@ -151,33 +200,43 @@ class CamSession:
         entries = [self._coerce(word) for word in words]
         if not entries:
             raise ConfigError("update needs at least one word")
-        start = self.cycle
-        per_beat = self.unit.words_per_beat
-        beats = 0
-        landed = 0
-        for offset in range(0, len(entries), per_beat):
-            self.unit.issue_update(entries[offset:offset + per_beat], group=group)
-            self.sim.step()
-            beats += 1
-            if self.unit.update_done:
-                landed += 1
-        # Drain every beat through the 6-cycle update pipeline.
-        budget = self.unit.update_latency + 4
-        for _ in range(budget):
-            if landed >= beats:
-                break
-            self.sim.step()
-            if self.unit.update_done:
-                landed += 1
-        if landed < beats:
-            raise SimulationError(
-                f"update pipeline failed to drain ({beats - landed} beats "
-                "pending)"
+        t0 = time.perf_counter() if obs.enabled() else 0.0
+        with obs.span("session.update", engine=self.engine_name,
+                      words=len(entries)):
+            start = self.cycle
+            per_beat = self.unit.words_per_beat
+            beats = 0
+            landed = 0
+            with obs.span("unit.update") as unit_span:
+                for offset in range(0, len(entries), per_beat):
+                    self.unit.issue_update(
+                        entries[offset:offset + per_beat], group=group
+                    )
+                    self.sim.step()
+                    beats += 1
+                    if self.unit.update_done:
+                        landed += 1
+                # Drain every beat through the 6-cycle update pipeline.
+                budget = self.unit.update_latency + 4
+                for _ in range(budget):
+                    if landed >= beats:
+                        break
+                    self.sim.step()
+                    if self.unit.update_done:
+                        landed += 1
+                unit_span.set(beats=beats, cycles=self.cycle - start)
+            if landed < beats:
+                raise SimulationError(
+                    f"update pipeline failed to drain ({beats - landed} beats "
+                    "pending)"
+                )
+            stats = UpdateStats(
+                words=len(entries), beats=beats, cycles=self.cycle - start
             )
-        stats = UpdateStats(
-            words=len(entries), beats=beats, cycles=self.cycle - start
-        )
         self.last_update_stats = stats
+        if obs.enabled():
+            publish_update_metrics(self, stats,
+                                   wall_s=time.perf_counter() - t0)
         return stats
 
     def search(
@@ -194,36 +253,47 @@ class CamSession:
         keys = list(keys)
         if not keys:
             raise ConfigError("search needs at least one key")
-        start = self.cycle
-        per_beat = self.unit.num_groups if groups is None else len(groups)
-        pending = 0
-        results: List[SearchResult] = []
-        offset = 0
-        budget = len(keys) + self.unit.search_latency + 16
-        for _ in range(budget):
-            if offset < len(keys):
-                chunk = keys[offset:offset + per_beat]
-                chunk_groups = None if groups is None else groups[: len(chunk)]
-                self.unit.issue_search(chunk, groups=chunk_groups)
-                offset += len(chunk)
-                pending += 1
-            elif pending == 0:
-                break
-            self.sim.step()
-            out = self.unit.search_output
-            if out is not None:
-                results.extend(out)
-                pending -= 1
-        if pending:
-            raise SimulationError(
-                f"search pipeline failed to drain ({pending} beats pending)"
+        t0 = time.perf_counter() if obs.enabled() else 0.0
+        with obs.span("session.search", engine=self.engine_name,
+                      keys=len(keys)):
+            start = self.cycle
+            per_beat = self.unit.num_groups if groups is None else len(groups)
+            pending = 0
+            results: List[SearchResult] = []
+            offset = 0
+            budget = len(keys) + self.unit.search_latency + 16
+            with obs.span("unit.search") as unit_span:
+                for _ in range(budget):
+                    if offset < len(keys):
+                        chunk = keys[offset:offset + per_beat]
+                        chunk_groups = (None if groups is None
+                                        else groups[: len(chunk)])
+                        self.unit.issue_search(chunk, groups=chunk_groups)
+                        offset += len(chunk)
+                        pending += 1
+                    elif pending == 0:
+                        break
+                    self.sim.step()
+                    out = self.unit.search_output
+                    if out is not None:
+                        results.extend(out)
+                        pending -= 1
+                unit_span.set(cycles=self.cycle - start)
+            if pending:
+                raise SimulationError(
+                    f"search pipeline failed to drain ({pending} beats pending)"
+                )
+            stats = SearchStats(
+                keys=len(keys),
+                beats=(len(keys) + per_beat - 1) // per_beat,
+                cycles=self.cycle - start,
             )
-        stats = SearchStats(
-            keys=len(keys),
-            beats=(len(keys) + per_beat - 1) // per_beat,
-            cycles=self.cycle - start,
-        )
         self.last_search_stats = stats
+        if obs.enabled():
+            publish_search_metrics(
+                self, stats, hits=sum(1 for r in results if r.hit),
+                wall_s=time.perf_counter() - t0,
+            )
         return results
 
     def search_one(self, key: int, group: Optional[int] = None) -> SearchResult:
@@ -238,25 +308,37 @@ class CamSession:
     def delete(self, key: int) -> SearchResult:
         """Delete-by-content (extension): invalidate entries matching
         ``key`` in every replica; returns what was invalidated."""
-        self.unit.issue_delete(key)
-        cycles = self.unit.search_latency + 4
-        for _ in range(cycles):
-            self.sim.step()
-            out = self.unit.search_output
-            if out is not None:
-                return out[0]
+        with obs.span("session.delete", engine=self.engine_name):
+            self.unit.issue_delete(key)
+            cycles = self.unit.search_latency + 4
+            for _ in range(cycles):
+                self.sim.step()
+                out = self.unit.search_output
+                if out is not None:
+                    obs.inc("cam_deletes_total",
+                            help="delete-by-content transactions",
+                            engine=self.engine_name)
+                    return out[0]
         raise SimulationError("delete beat produced no result")
 
     # ------------------------------------------------------------------
     def set_groups(self, num_groups: int) -> None:
         """Reconfigure the runtime group count (flushes content)."""
-        self.unit.issue_regroup(num_groups)
-        self.sim.step(self.unit.update_latency + 2)
+        with obs.span("session.set_groups", engine=self.engine_name,
+                      groups=num_groups):
+            self.unit.issue_regroup(num_groups)
+            self.sim.step(self.unit.update_latency + 2)
+        obs.inc("cam_regroups_total", help="runtime group reconfigurations",
+                engine=self.engine_name)
 
     def reset(self) -> None:
         """Clear all stored content."""
-        self.unit.issue_reset()
-        self.sim.step(self.unit.update_latency + 2)
+        with obs.span("session.reset", engine=self.engine_name):
+            self.unit.issue_reset()
+            self.sim.step(self.unit.update_latency + 2)
+        obs.inc("cam_episodes_total",
+                help="reset-bounded content episodes completed",
+                engine=self.engine_name)
 
     def idle(self, cycles: int = 1) -> None:
         """Let the clock run without issuing operations."""

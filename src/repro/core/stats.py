@@ -11,8 +11,9 @@ utilisation summary, all read from the golden-state side of the models
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro import obs
 from repro.core.unit import CamUnit
 
 
@@ -95,6 +96,47 @@ class UnitStats:
                 + (f"  ({block.holes} holes)" if block.holes else "")
             )
         return "\n".join(lines)
+
+
+def publish_stats(
+    stats: UnitStats,
+    registry: Optional["obs.MetricsRegistry"] = None,
+) -> None:
+    """Register a :class:`UnitStats` snapshot as occupancy gauges.
+
+    Writes into ``registry`` (default: the global :func:`repro.obs.metrics`
+    registry) unconditionally -- publishing a snapshot is an explicit
+    request, not a hot path, so it works even while telemetry is
+    disabled. This is the single code path ``repro metrics`` and the
+    manifests use to report occupancy/holes/utilisation.
+    """
+    reg = registry if registry is not None else obs.metrics()
+    reg.gauge("cam_unit_cells_total",
+              help="total CAM cells in the unit").set(stats.total_cells)
+    reg.gauge("cam_unit_groups",
+              help="current runtime group count M").set(stats.num_groups)
+    reg.gauge("cam_unit_consumed_cells",
+              help="cells consumed by stored or deleted entries").set(
+                  stats.consumed_cells)
+    reg.gauge("cam_unit_live_cells",
+              help="cells holding live (searchable) entries").set(
+                  stats.live_cells)
+    reg.gauge("cam_unit_holes",
+              help="cells invalidated by delete-by-content").set(stats.holes)
+    reg.gauge("cam_unit_utilisation",
+              help="consumed fraction of the unit's cells").set(
+                  stats.utilisation)
+    reg.gauge("cam_unit_balanced",
+              help="1 when every group holds the same amount of content").set(
+                  1 if stats.balanced else 0)
+    fill_gauge = reg.gauge("cam_group_fill_cells",
+                           help="consumed cells per logical group")
+    for group, fill in sorted(stats.group_fill().items()):
+        fill_gauge.set(fill, group=group)
+    block_gauge = reg.gauge("cam_block_fill_cells",
+                            help="consumed cells per block")
+    for block in stats.blocks:
+        block_gauge.set(block.fill, block=block.block_id, group=block.group)
 
 
 def collect_stats(unit: CamUnit) -> UnitStats:

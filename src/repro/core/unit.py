@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.block import CamBlock
 from repro.core.config import UnitConfig
 from repro.core.group import BlockAddressController
@@ -207,6 +208,8 @@ class CamUnit(Component):
         for g in targets:
             self._stored[g] += len(words)
         self._stage_beat(_UpdateBeat(words=words, group=group))
+        obs.inc("cam_unit_update_beats_total",
+                help="update beats issued to the unit pipeline")
 
     def _update_targets(self, group: Optional[int]) -> List[int]:
         if self.config.replicate_updates:
@@ -270,6 +273,8 @@ class CamUnit(Component):
             (index, group_ids[index], key) for index, key in enumerate(keys)
         )
         self._stage_beat(_SearchBeat(queries=queries))
+        obs.inc("cam_unit_search_beats_total",
+                help="multi-query search beats issued to the unit pipeline")
 
     def issue_delete(self, key: int) -> None:
         """Stage a delete-by-content beat (extension beyond the paper).
@@ -279,6 +284,8 @@ class CamUnit(Component):
         only by reset; ``stored_words`` keeps counting consumed cells.
         """
         self._stage_beat(_DeleteBeat(key=int(key)))
+        obs.inc("cam_unit_delete_beats_total",
+                help="delete-by-content beats issued to the unit pipeline")
 
     def issue_reset(self) -> None:
         """Stage a full-content reset."""

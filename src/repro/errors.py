@@ -71,3 +71,12 @@ class DatasetError(ReproError):
 
 class DeviceError(ReproError):
     """An FPGA device is unknown or lacks a required resource column."""
+
+
+class ObsError(ReproError):
+    """Telemetry misuse or a malformed observability artefact.
+
+    Raised when a metric is re-registered with a conflicting type,
+    when a benchmark manifest fails schema validation, or when a trace
+    export is asked for an impossible encoding.
+    """

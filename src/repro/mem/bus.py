@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import ConfigError
 
 
@@ -37,7 +38,13 @@ class StreamBus:
         if words < 0:
             raise ConfigError("word count must be non-negative")
         per_beat = self.words_per_beat
-        return -(-words // per_beat)
+        beats = -(-words // per_beat)
+        if obs.enabled():
+            obs.inc("mem_bus_beats_total", beats,
+                    help="streaming-bus beats modelled")
+            obs.inc("mem_bus_words_total", words,
+                    help="words streamed over the bus model")
+        return beats
 
     def bytes_for_words(self, words: int) -> int:
         """Memory footprint of ``words`` words, in bytes."""

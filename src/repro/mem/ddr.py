@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import ConfigError
 
 
@@ -75,13 +76,25 @@ class DdrChannel:
         beats = self.beats_for_bytes(num_bytes)
         seconds = num_bytes / (self.sustained_bandwidth_gbps * 1e9)
         dram_cycles = int(seconds * frequency_mhz * 1e6 + 0.999999)
-        return max(beats, dram_cycles)
+        cycles = max(beats, dram_cycles)
+        if obs.enabled():
+            obs.inc("mem_ddr_transactions_total",
+                    help="DDR channel transactions modelled", kind="stream")
+            obs.inc("mem_ddr_bytes_total", num_bytes,
+                    help="bytes moved over the DDR channel model")
+            obs.inc("mem_ddr_cycles_total", cycles,
+                    help="kernel cycles the DDR channel model charged")
+        return cycles
 
     def random_access_cycles(self, frequency_mhz: float) -> int:
         """Kernel cycles of first-beat latency for a random access."""
         if frequency_mhz <= 0:
             raise ConfigError("frequency must be positive")
-        return int(self.access_latency_ns * frequency_mhz / 1e3 + 0.999999)
+        cycles = int(self.access_latency_ns * frequency_mhz / 1e3 + 0.999999)
+        if obs.enabled():
+            obs.inc("mem_ddr_transactions_total", kind="random")
+            obs.inc("mem_ddr_cycles_total", cycles)
+        return cycles
 
 
 #: The paper's evaluation condition: one U250 DDR4 channel.

@@ -1,0 +1,192 @@
+"""repro.obs: unified telemetry (metrics, span tracing, run manifests).
+
+One process-wide telemetry state gates every instrumentation site in
+the library: a :class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.tracing.Tracer`, and an on/off switch. Telemetry is
+**off by default** and the module-level helpers (:func:`span`,
+:func:`inc`, :func:`observe`, :func:`set_gauge`) collapse to a single
+branch when disabled, so the instrumented hot paths (the batch engine,
+the cycle simulator drive loops, the memory models) pay nothing
+measurable.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()                      # metrics + tracing
+    session.update([1, 2, 3])
+    session.search([2, 9])
+    print(obs.metrics().to_prometheus())
+    obs.tracer().write_chrome("trace.json")   # open in Perfetto
+    obs.disable()
+
+Benchmark manifests (:mod:`repro.obs.manifest`) record a metrics
+snapshot plus version/git provenance per run; see
+``docs/observability.md`` for the metrics catalogue and schema.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    load_manifest,
+    manifest_filename,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.meta import git_sha, package_version, runtime_meta
+from repro.obs.metrics import (
+    CYCLE_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+__all__ = [
+    "CYCLE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SECONDS_BUCKETS",
+    "Tracer",
+    "build_manifest",
+    "disable",
+    "enable",
+    "enabled",
+    "git_sha",
+    "inc",
+    "load_manifest",
+    "manifest_filename",
+    "metrics",
+    "observe",
+    "package_version",
+    "reset",
+    "runtime_meta",
+    "set_gauge",
+    "span",
+    "instant",
+    "tracer",
+    "tracing_enabled",
+    "validate_manifest",
+    "write_manifest",
+]
+
+
+class _TelemetryState:
+    """Process-wide telemetry switchboard."""
+
+    __slots__ = ("active", "registry", "tracer")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(enabled=False)
+
+
+_state = _TelemetryState()
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def enabled() -> bool:
+    """True when telemetry collection is on."""
+    return _state.active
+
+
+def tracing_enabled() -> bool:
+    """True when span tracing specifically is on."""
+    return _state.active and _state.tracer.enabled
+
+
+def enable(tracing: bool = True, sample: float = 1.0, seed: int = 0) -> None:
+    """Turn telemetry on (metrics always; tracing optionally sampled).
+
+    Re-enabling keeps the existing registry/tracer contents so a run
+    can be paused and resumed; call :func:`reset` for a clean slate.
+    """
+    _state.active = True
+    _state.tracer.enabled = tracing
+    if tracing:
+        if not 0.0 <= sample <= 1.0:
+            from repro.errors import ObsError
+
+            raise ObsError(f"trace sample must be in [0, 1], got {sample}")
+        _state.tracer.sample = sample
+
+
+def disable() -> None:
+    """Turn telemetry off. Collected data stays readable."""
+    _state.active = False
+    _state.tracer.enabled = False
+
+
+def reset() -> None:
+    """Drop all collected telemetry and return to the disabled state."""
+    _state.active = False
+    _state.registry = MetricsRegistry()
+    _state.tracer = Tracer(enabled=False)
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _state.registry
+
+
+def tracer() -> Tracer:
+    """The process-wide span tracer."""
+    return _state.tracer
+
+
+# ----------------------------------------------------------------------
+# hot-path helpers (single branch when disabled)
+# ----------------------------------------------------------------------
+def span(name: str, /, **args: object):
+    """Open a span on the global tracer (no-op when disabled)."""
+    if not _state.active:
+        return NULL_SPAN
+    return _state.tracer.span(name, **args)
+
+
+def instant(name: str, /, **args: object) -> None:
+    """Record an instant mark on the global tracer (no-op when disabled)."""
+    if not _state.active:
+        return
+    _state.tracer.instant(name, **args)
+
+
+def inc(name: str, amount: float = 1, /, help: str = "",
+        **labels: object) -> None:
+    """Increment a counter on the global registry (no-op when disabled)."""
+    if not _state.active:
+        return
+    _state.registry.counter(name, help=help).inc(amount, **labels)
+
+
+def set_gauge(name: str, value: float, /, help: str = "",
+              **labels: object) -> None:
+    """Set a gauge on the global registry (no-op when disabled)."""
+    if not _state.active:
+        return
+    _state.registry.gauge(name, help=help).set(value, **labels)
+
+
+def observe(name: str, value: float, /, help: str = "",
+            buckets: Optional[Sequence[float]] = None,
+            **labels: object) -> None:
+    """Observe into a histogram on the global registry (no-op when
+    disabled). ``buckets`` only applies at first registration."""
+    if not _state.active:
+        return
+    _state.registry.histogram(name, help=help, buckets=buckets).observe(
+        value, **labels
+    )

@@ -1,0 +1,127 @@
+"""Machine-readable benchmark run manifests (``BENCH_<name>.json``).
+
+Every benchmark run emits one manifest: what ran (name, config), on
+what code (version, git SHA, python), how long it took (timings), and
+what the telemetry saw (a metrics snapshot). The files are the
+perf-trajectory record that later sessions -- and the CI artifact
+trail -- read instead of re-deriving numbers from free-form text.
+
+The schema is deliberately small and validated by
+:func:`validate_manifest`, so a manifest that loads and validates can
+be consumed blind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from repro.errors import ObsError
+from repro.obs.meta import runtime_meta
+
+#: Schema identifier stamped into (and required of) every manifest.
+MANIFEST_SCHEMA = "repro.bench.manifest/v1"
+
+#: Required top-level keys and the types their values must have.
+_REQUIRED: Dict[str, type] = {
+    "schema": str,
+    "name": str,
+    "meta": dict,
+    "created_unix": (int, float),  # type: ignore[dict-item]
+    "config": dict,
+    "timings": dict,
+    "metrics": dict,
+}
+
+
+def build_manifest(
+    name: str,
+    config: Optional[dict] = None,
+    timings: Optional[Dict[str, float]] = None,
+    metrics: Optional[dict] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble a schema-valid manifest dict.
+
+    ``metrics`` is a registry snapshot (:meth:`MetricsRegistry.snapshot`)
+    or any JSON-able dict; ``timings`` maps stage/test names to seconds.
+    """
+    if not name:
+        raise ObsError("manifest needs a non-empty name")
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "name": name,
+        "meta": runtime_meta(),
+        "created_unix": time.time(),
+        "config": dict(config or {}),
+        "timings": {key: float(value) for key, value in (timings or {}).items()},
+        "metrics": dict(metrics or {}),
+    }
+    if extra:
+        manifest["extra"] = dict(extra)
+    validate_manifest(manifest)
+    return manifest
+
+
+def validate_manifest(manifest: dict) -> dict:
+    """Check schema conformance; returns the manifest for chaining."""
+    if not isinstance(manifest, dict):
+        raise ObsError(
+            f"manifest must be a JSON object, got {type(manifest).__name__}"
+        )
+    for key, expected in _REQUIRED.items():
+        if key not in manifest:
+            raise ObsError(f"manifest missing required key {key!r}")
+        if not isinstance(manifest[key], expected):
+            raise ObsError(
+                f"manifest key {key!r} must be "
+                f"{getattr(expected, '__name__', expected)}, got "
+                f"{type(manifest[key]).__name__}"
+            )
+    if manifest["schema"] != MANIFEST_SCHEMA:
+        raise ObsError(
+            f"unknown manifest schema {manifest['schema']!r} "
+            f"(expected {MANIFEST_SCHEMA!r})"
+        )
+    meta = manifest["meta"]
+    for key in ("version", "git_sha", "python"):
+        if key not in meta:
+            raise ObsError(f"manifest meta missing key {key!r}")
+    for stage, seconds in manifest["timings"].items():
+        if not isinstance(seconds, (int, float)):
+            raise ObsError(
+                f"timing {stage!r} must be a number, got "
+                f"{type(seconds).__name__}"
+            )
+    return manifest
+
+
+def manifest_filename(name: str) -> str:
+    """Canonical on-disk name for a manifest."""
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in name)
+    return f"BENCH_{safe}.json"
+
+
+def write_manifest(manifest: dict, directory: str = ".") -> str:
+    """Validate and write ``BENCH_<name>.json``; returns the path."""
+    validate_manifest(manifest)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, manifest_filename(manifest["name"]))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_manifest(path: str) -> dict:
+    """Load and validate a manifest file."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ObsError(f"cannot read manifest {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ObsError(f"manifest {path} is not valid JSON: {error}") from error
+    return validate_manifest(data)

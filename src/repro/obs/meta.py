@@ -1,0 +1,85 @@
+"""Build/runtime identity shared by every telemetry export.
+
+Metrics dumps, Chrome traces, and benchmark manifests all carry the
+same provenance header -- package version plus git SHA -- so a stored
+artefact can always be traced back to the code that produced it. The
+version is read from the installed package metadata (pyproject.toml)
+when available, falling back to parsing the source tree's
+pyproject.toml and finally to the hard-coded ``repro.__version__``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from typing import Dict, Optional
+
+_version_cache: Optional[str] = None
+_sha_cache: object = False  # False = not probed yet (None is a valid answer)
+
+
+def package_version() -> str:
+    """The repro package version, preferring installed metadata."""
+    global _version_cache
+    if _version_cache is not None:
+        return _version_cache
+    version: Optional[str] = None
+    try:
+        from importlib import metadata
+
+        version = metadata.version("repro")
+    except Exception:
+        version = None
+    if version is None:
+        version = _version_from_pyproject()
+    if version is None:
+        from repro import __version__
+
+        version = __version__
+    _version_cache = version
+    return version
+
+
+def _version_from_pyproject() -> Optional[str]:
+    """Parse ``version = "..."`` from the source tree's pyproject.toml."""
+    root = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, os.pardir)
+    )
+    path = os.path.join(root, "pyproject.toml")
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return None
+    match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+    return match.group(1) if match else None
+
+
+def git_sha() -> Optional[str]:
+    """The git commit SHA of the working tree, or ``None`` outside git."""
+    global _sha_cache
+    if _sha_cache is not False:
+        return _sha_cache  # type: ignore[return-value]
+    try:
+        out = subprocess.run(
+            ["git", "-C", os.path.dirname(os.path.abspath(__file__)),
+             "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+        )
+        sha = out.stdout.strip() if out.returncode == 0 else None
+    except Exception:
+        sha = None
+    _sha_cache = sha if sha else None
+    return _sha_cache  # type: ignore[return-value]
+
+
+def runtime_meta() -> Dict[str, object]:
+    """Provenance block embedded in every export and manifest."""
+    return {
+        "package": "repro",
+        "version": package_version(),
+        "git_sha": git_sha(),
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+    }

@@ -1,0 +1,368 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` owns named metric families; each family
+holds one value (or histogram state) per label set, Prometheus-style.
+The registry exports the whole catalogue as Prometheus text format or
+as JSON, both stamped with the package version and git SHA so archived
+snapshots stay attributable.
+
+Everything here is dependency-free and cheap: a counter increment is a
+dict lookup plus an add. The hot-path *guards* (skip work entirely when
+telemetry is off) live in :mod:`repro.obs` -- these classes always do
+what they are asked.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObsError
+from repro.obs.meta import runtime_meta
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default bucket upper edges for cycle-count histograms (powers of two
+#: up to 64K cycles; values above fall into the +Inf bucket).
+CYCLE_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096, 16384, 65536,
+)
+
+#: Default bucket upper edges for wall-clock histograms, in seconds.
+SECONDS_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+class Metric:
+    """Base class: a named family of samples keyed by label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise ObsError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        raise NotImplementedError
+
+    def to_json_obj(self) -> dict:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, cycles, bytes)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ObsError(f"counter {self.name} cannot decrease ({amount})")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._values.values())
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self._values.items())
+
+    def to_json_obj(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "samples": [
+                {"labels": dict(key), "value": value}
+                for key, value in self.samples()
+            ],
+        }
+
+
+class Gauge(Metric):
+    """A value that can go up and down (occupancy, utilisation)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[_label_key(labels)] = value
+
+    def add(self, amount: float, **labels: object) -> None:
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(_label_key(labels), 0)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(self._values.items())
+
+    def to_json_obj(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "samples": [
+                {"labels": dict(key), "value": value}
+                for key, value in self.samples()
+            ],
+        }
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.counts = [0] * (num_buckets + 1)  # trailing slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with cumulative Prometheus semantics.
+
+    ``buckets`` are the upper edges (inclusive, ``le``); an implicit
+    +Inf bucket catches everything above the last edge. Edges are
+    validated once at registration, so ``observe`` is a bisect plus
+    three adds.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = CYCLE_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        edges = [float(edge) for edge in buckets]
+        if not edges:
+            raise ObsError(f"histogram {name} needs at least one bucket edge")
+        if sorted(edges) != edges or len(set(edges)) != len(edges):
+            raise ObsError(
+                f"histogram {name} bucket edges must be strictly increasing: "
+                f"{edges}"
+            )
+        self.buckets: Tuple[float, ...] = tuple(edges)
+        self._states: Dict[LabelKey, _HistogramState] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = _label_key(labels)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _HistogramState(len(self.buckets))
+        index = len(self.buckets)
+        for i, edge in enumerate(self.buckets):
+            if value <= edge:
+                index = i
+                break
+        state.counts[index] += 1
+        state.sum += value
+        state.count += 1
+
+    # ------------------------------------------------------------------
+    def count(self, **labels: object) -> int:
+        state = self._states.get(_label_key(labels))
+        return state.count if state else 0
+
+    def sum(self, **labels: object) -> float:
+        state = self._states.get(_label_key(labels))
+        return state.sum if state else 0.0
+
+    def bucket_counts(self, **labels: object) -> List[int]:
+        """Per-bucket (non-cumulative) counts, +Inf last."""
+        state = self._states.get(_label_key(labels))
+        if state is None:
+            return [0] * (len(self.buckets) + 1)
+        return list(state.counts)
+
+    def cumulative_counts(self, **labels: object) -> List[int]:
+        """Cumulative counts per ``le`` edge (+Inf last) -- the
+        Prometheus wire representation."""
+        counts = self.bucket_counts(**labels)
+        out, running = [], 0
+        for value in counts:
+            running += value
+            out.append(running)
+        return out
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        return sorted(
+            (key, state.count) for key, state in self._states.items()
+        )
+
+    def label_sets(self) -> List[LabelKey]:
+        return sorted(self._states)
+
+    def to_json_obj(self) -> dict:
+        out = {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "buckets": list(self.buckets),
+            "samples": [],
+        }
+        for key in self.label_sets():
+            state = self._states[key]
+            out["samples"].append({
+                "labels": dict(key),
+                "count": state.count,
+                "sum": state.sum,
+                "bucket_counts": list(state.counts),
+            })
+        return out
+
+
+class MetricsRegistry:
+    """Named metric families with get-or-create registration.
+
+    Re-registering an existing name returns the existing family; asking
+    for it under a different kind (or different histogram buckets) is a
+    programming error and raises :class:`~repro.errors.ObsError`.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ObsError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            if help and not existing.help:
+                existing.help = help
+            buckets = kwargs.get("buckets")
+            if buckets is not None and isinstance(existing, Histogram):
+                if tuple(float(b) for b in buckets) != existing.buckets:
+                    raise ObsError(
+                        f"histogram {name!r} already registered with "
+                        f"buckets {existing.buckets}"
+                    )
+            return existing
+        metric = cls(name, help=help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)  # type: ignore
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)  # type: ignore
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        # The default only applies at first registration; buckets=None
+        # afterwards means "keep whatever the family was created with".
+        if buckets is None and name not in self._metrics:
+            buckets = CYCLE_BUCKETS
+        return self._get_or_create(  # type: ignore
+            Histogram, name, help, buckets=buckets
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterable[Metric]:
+        return iter(self._metrics[name] for name in self.names())
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+    # ------------------------------------------------------------------
+    # exports
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready dict of the whole registry (manifest embedding)."""
+        return {
+            "meta": runtime_meta(),
+            "metrics": [metric.to_json_obj() for metric in self],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=False)
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        meta = runtime_meta()
+        lines = [
+            f"# repro {meta['version']} "
+            f"git={meta['git_sha'] or 'unknown'} python={meta['python']}",
+        ]
+        for metric in self:
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key in metric.label_sets():
+                    cumulative = metric.cumulative_counts(**dict(key))
+                    edges = [str(_format_value(e)) for e in metric.buckets]
+                    for edge, count in zip(edges + ["+Inf"], cumulative):
+                        labels = _render_labels(key, [("le", edge)])
+                        lines.append(
+                            f"{metric.name}_bucket{labels} {count}"
+                        )
+                    labels = _render_labels(key)
+                    lines.append(
+                        f"{metric.name}_sum{labels} "
+                        f"{_format_value(metric.sum(**dict(key)))}"
+                    )
+                    lines.append(
+                        f"{metric.name}_count{labels} "
+                        f"{metric.count(**dict(key))}"
+                    )
+            else:
+                for key, value in metric.samples():
+                    lines.append(
+                        f"{metric.name}{_render_labels(key)} "
+                        f"{_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _format_value(value: float) -> object:
+    """Render integral floats without a trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value

@@ -1,0 +1,242 @@
+"""Span-based tracing exported as Chrome trace-event JSON.
+
+``tracer.span("session.search", keys=32)`` opens a timed span; spans
+nest naturally with the ``with`` stack (session -> unit -> engine, or
+the triangle-counting pipeline stages) and are exported as Chrome
+*complete* events (``ph="X"``), which Perfetto / chrome://tracing
+render as a flame graph. :meth:`Tracer.instant` adds zero-duration
+marks, and :meth:`Tracer.add_sim_trace` projects the cycle-accurate
+simulator's :class:`repro.sim.Trace` signal events onto the same
+timeline as instant events (cycles mapped to microseconds at a nominal
+kernel clock, on their own track).
+
+Cost model: when the tracer is disabled (the default) ``span()``
+returns a shared no-op context manager after a single attribute check,
+so instrumented hot paths pay one branch. The ``sample`` knob keeps a
+seeded fraction of *root* spans (an unsampled root suppresses its whole
+subtree), so always-on tracing can be dialled down without losing tree
+consistency.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List, Optional
+
+from repro.errors import ObsError
+from repro.obs.meta import runtime_meta
+
+#: Track ids in the exported trace.
+TID_SPANS = 1
+TID_SIM = 2
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for disabled/unsampled paths."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **args: object) -> None:
+        """Ignore late-attached arguments."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records a complete event on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_start_us", "depth")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 args: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self.depth = 0
+        self._start_us = 0.0
+
+    def set(self, **args: object) -> None:
+        """Attach or override span arguments after entry."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        self.depth = tracer._depth
+        tracer._depth += 1
+        self._start_us = tracer._now_us()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        end_us = tracer._now_us()
+        tracer._depth -= 1
+        args = dict(self.args)
+        args["depth"] = self.depth
+        if exc_type is not None:
+            args["error"] = exc_type.__name__
+        tracer._events.append({
+            "name": self.name,
+            "cat": self.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": self._start_us,
+            "dur": max(end_us - self._start_us, 0.0),
+            "pid": 1,
+            "tid": TID_SPANS,
+            "args": args,
+        })
+        return False
+
+
+class _SuppressSpan:
+    """Context manager holding the tracer suppressed for one subtree."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+
+    def set(self, **args: object) -> None:
+        pass
+
+    def __enter__(self) -> "_SuppressSpan":
+        self._tracer._suppress += 1
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer._suppress -= 1
+        return False
+
+
+class Tracer:
+    """Collects span / instant events and serialises Chrome trace JSON."""
+
+    def __init__(self, enabled: bool = False, sample: float = 1.0,
+                 seed: int = 0) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ObsError(f"trace sample must be in [0, 1], got {sample}")
+        self.enabled = enabled
+        self.sample = sample
+        self._rng = random.Random(seed)
+        self._events: List[dict] = []
+        self._depth = 0
+        self._suppress = 0
+        self._origin_ns = time.perf_counter_ns()
+
+    # ------------------------------------------------------------------
+    def _now_us(self) -> float:
+        return (time.perf_counter_ns() - self._origin_ns) / 1000.0
+
+    def span(self, name: str, /, **args: object):
+        """Open a (nested) span; returns a context manager."""
+        if not self.enabled:
+            return NULL_SPAN
+        if self._suppress:
+            return _SuppressSpan(self)
+        if (self._depth == 0 and self.sample < 1.0
+                and self._rng.random() >= self.sample):
+            return _SuppressSpan(self)
+        return _Span(self, name, dict(args))
+
+    def instant(self, name: str, /, tid: int = TID_SPANS,
+                ts_us: Optional[float] = None, **args: object) -> None:
+        """Record a zero-duration mark on the timeline."""
+        if not self.enabled or self._suppress:
+            return
+        self._events.append({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "i",
+            "s": "t",
+            "ts": self._now_us() if ts_us is None else ts_us,
+            "pid": 1,
+            "tid": tid,
+            "args": dict(args),
+        })
+
+    def add_sim_trace(self, trace, frequency_mhz: float = 300.0) -> int:
+        """Project a :class:`repro.sim.Trace` onto the span timeline.
+
+        Each signal sample becomes an instant event on the simulator
+        track (:data:`TID_SIM`), with the cycle number converted to
+        microseconds at ``frequency_mhz``. Returns the number of events
+        added. Works even while the tracer is disabled -- unifying a
+        waveform with an already-captured trace is an explicit export
+        step, not a hot path.
+        """
+        if frequency_mhz <= 0:
+            raise ObsError("frequency must be positive")
+        us_per_cycle = 1.0 / frequency_mhz
+        added = 0
+        for event in trace:
+            self._events.append({
+                "name": f"{event.component}.{event.signal}",
+                "cat": "sim",
+                "ph": "i",
+                "s": "t",
+                "ts": event.cycle * us_per_cycle,
+                "pid": 1,
+                "tid": TID_SIM,
+                "args": {"cycle": event.cycle, "value": repr(event.value)},
+            })
+            added += 1
+        if getattr(trace, "truncated", False):
+            self._events.append({
+                "name": "sim.trace_truncated",
+                "cat": "sim",
+                "ph": "i",
+                "s": "g",
+                "ts": 0.0,
+                "pid": 1,
+                "tid": TID_SIM,
+                "args": {"dropped_events": getattr(trace, "dropped", 0)},
+            })
+            added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[dict]:
+        """The recorded events (Chrome trace-event dicts)."""
+        return list(self._events)
+
+    def span_count(self) -> int:
+        return sum(1 for event in self._events if event["ph"] == "X")
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._depth = 0
+        self._suppress = 0
+        self._origin_ns = time.perf_counter_ns()
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event JSON object (load in Perfetto)."""
+        meta = runtime_meta()
+        thread_names = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": TID_SPANS,
+             "args": {"name": "spans"}},
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": TID_SIM,
+             "args": {"name": "sim signals (cycles)"}},
+            {"name": "process_name", "ph": "M", "pid": 1,
+             "args": {"name": "repro"}},
+        ]
+        return {
+            "traceEvents": thread_names + self._events,
+            "displayTimeUnit": "ms",
+            "otherData": meta,
+        }
+
+    def write_chrome(self, path: str) -> int:
+        """Serialise to ``path``; returns the number of span events."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome(), handle, indent=1)
+            handle.write("\n")
+        return self.span_count()

@@ -5,10 +5,18 @@ components via :meth:`repro.sim.Component.emit`. It is deliberately
 simple -- a list of events with query helpers and a text dump -- because
 the benches only need to count cycles between stimulus and response, not
 render full waveforms.
+
+When a record limit is set, hitting it is **explicit**: the whole
+``emit`` that would overflow is dropped atomically (never a partial
+cycle), the :attr:`Trace.truncated` flag latches, and the dropped-event
+count is kept, so consumers can tell a complete capture from a clipped
+one. :meth:`events` warns once per trace and :meth:`to_text` appends a
+truncation footer.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
@@ -30,19 +38,44 @@ class Trace:
         self._events: List[TraceEvent] = []
         self._cycle = 0
         self._limit = limit
+        self._dropped = 0
+        self._warned = False
 
     def begin_cycle(self, cycle: int) -> None:
         """Mark the start of a simulation cycle (called by the driver)."""
         self._cycle = cycle
 
     def record(self, component: str, signals: Dict[str, object]) -> None:
-        """Append one event per named signal for the current cycle."""
+        """Append one event per named signal for the current cycle.
+
+        If the record limit would be exceeded, the *entire* call is
+        dropped (no partial component emission) and the trace is marked
+        :attr:`truncated`.
+        """
+        if (self._limit is not None
+                and len(self._events) + len(signals) > self._limit):
+            self._dropped += len(signals)
+            return
         for signal, value in signals.items():
-            if self._limit is not None and len(self._events) >= self._limit:
-                return
             self._events.append(
                 TraceEvent(self._cycle, component, signal, value)
             )
+
+    # ------------------------------------------------------------------
+    @property
+    def limit(self) -> Optional[int]:
+        """The configured record limit (``None`` = unlimited)."""
+        return self._limit
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one emission was dropped at the limit."""
+        return self._dropped > 0
+
+    @property
+    def dropped(self) -> int:
+        """Number of signal events dropped after the limit was hit."""
+        return self._dropped
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -56,7 +89,19 @@ class Trace:
         component: Optional[str] = None,
         signal: Optional[str] = None,
     ) -> List[TraceEvent]:
-        """Return events filtered by component and/or signal name."""
+        """Return events filtered by component and/or signal name.
+
+        Warns (once per trace) when the trace was truncated, so a query
+        over a clipped capture does not silently look complete.
+        """
+        if self.truncated and not self._warned:
+            self._warned = True
+            warnings.warn(
+                f"trace truncated at its {self._limit}-event limit; "
+                f"{self._dropped} events were dropped",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         out = []
         for event in self._events:
             if component is not None and event.component != component:
@@ -80,5 +125,10 @@ class Trace:
             lines.append(
                 f"{event.cycle:5d}  {event.component:<28}  "
                 f"{event.signal:<15}  {event.value!r}"
+            )
+        if self.truncated:
+            lines.append(
+                f"[truncated: limit {self._limit} reached, "
+                f"{self._dropped} events dropped]"
             )
         return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Telemetry tests always start from (and leave behind) a clean,
+disabled global state."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.reset()
+    yield
+    obs.reset()

@@ -1,0 +1,84 @@
+"""Registry export formats against committed golden files.
+
+The meta header (version / git SHA / python) varies per checkout, so
+the comparison normalises it; everything else must match byte-for-byte.
+"""
+
+import json
+import os
+import re
+
+from repro.obs import MetricsRegistry
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def _build_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    searches = registry.counter("cam_searches_total",
+                                help="CAM search transactions")
+    searches.inc(3, engine="cycle")
+    searches.inc(40, engine="batch")
+    registry.gauge("cam_occupancy_entries",
+                   help="stored words per logical group").set(96, engine="cycle")
+    latency = registry.histogram("cam_search_latency_cycles",
+                                 help="cycles per search transaction",
+                                 buckets=(4, 16, 64))
+    for value in (3, 7, 9, 20, 500):
+        latency.observe(value, engine="cycle")
+    registry.gauge("cam_unit_utilisation",
+                   help="consumed fraction of the unit's cells").set(0.75)
+    return registry
+
+
+def _normalise_prometheus(text: str) -> str:
+    return re.sub(
+        r"^# repro .*$",
+        "# repro VERSION git=SHA python=PY",
+        text,
+        count=1,
+        flags=re.M,
+    )
+
+
+def _normalise_json(text: str) -> dict:
+    data = json.loads(text)
+    data["meta"] = {"normalised": True}
+    return data
+
+
+def _golden(name: str, rendered: str) -> str:
+    path = os.path.join(GOLDEN_DIR, name)
+    if not os.path.exists(path):  # pragma: no cover - regeneration path
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def test_prometheus_export_matches_golden():
+    rendered = _normalise_prometheus(_build_registry().to_prometheus())
+    assert rendered == _golden("export.prom", rendered)
+
+
+def test_json_export_matches_golden():
+    rendered = _normalise_json(_build_registry().to_json())
+    golden = _normalise_json(_golden("export.json",
+                                     _build_registry().to_json()))
+    assert rendered == golden
+
+
+def test_prometheus_has_cumulative_histogram_samples():
+    text = _build_registry().to_prometheus()
+    assert 'cam_search_latency_cycles_bucket{engine="cycle",le="4"} 1' in text
+    assert 'cam_search_latency_cycles_bucket{engine="cycle",le="16"} 3' in text
+    assert 'cam_search_latency_cycles_bucket{engine="cycle",le="64"} 4' in text
+    assert 'cam_search_latency_cycles_bucket{engine="cycle",le="+Inf"} 5' in text
+    assert 'cam_search_latency_cycles_sum{engine="cycle"} 539' in text
+    assert 'cam_search_latency_cycles_count{engine="cycle"} 5' in text
+
+
+def test_prometheus_renders_integral_floats_as_ints():
+    text = _build_registry().to_prometheus()
+    assert 'cam_searches_total{engine="batch"} 40' in text
+    assert "cam_unit_utilisation 0.75" in text

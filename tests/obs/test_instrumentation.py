@@ -1,0 +1,121 @@
+"""End-to-end: the instrumented library reports through the registry."""
+
+import pytest
+
+from repro import obs
+from repro.core import CamSession, unit_for_entries
+from repro.core.stats import collect_stats, publish_stats
+
+
+@pytest.fixture(params=["cycle", "batch"])
+def session(request):
+    return CamSession(
+        unit_for_entries(128, block_size=32, data_width=32,
+                         default_groups=2),
+        engine=request.param,
+    )
+
+
+def _drive(session) -> None:
+    words = list(range(100, 148))
+    session.update(words)
+    session.search(words[:16] + [999_999])
+    session.delete(words[0])
+
+
+def test_session_counters_and_histograms(session):
+    obs.enable(tracing=False)
+    _drive(session)
+    engine = session.engine_name
+    registry = obs.metrics()
+    assert registry.counter("cam_updates_total").value(engine=engine) == 1
+    assert registry.counter("cam_update_words_total").value(engine=engine) == 48
+    assert registry.counter("cam_searches_total").value(engine=engine) == 1
+    assert registry.counter("cam_search_keys_total").value(engine=engine) == 17
+    assert registry.counter("cam_search_hits_total").value(engine=engine) == 16
+    assert registry.counter("cam_deletes_total").value(engine=engine) == 1
+    assert registry.histogram("cam_search_latency_cycles").count(
+        engine=engine) == 1
+    assert registry.histogram("cam_update_latency_cycles").count(
+        engine=engine) == 1
+    assert registry.histogram("cam_op_wall_seconds").count(
+        engine=engine, op="search") == 1
+    assert registry.gauge("cam_occupancy_entries").value(engine=engine) == 48
+
+
+def test_session_and_unit_spans_nest(session):
+    obs.enable(tracing=True)
+    _drive(session)
+    spans = [e for e in obs.tracer().events if e["ph"] == "X"]
+    by_name = {}
+    for span in spans:
+        by_name.setdefault(span["name"], []).append(span)
+    assert "session.update" in by_name
+    assert "session.search" in by_name
+    assert "unit.update" in by_name and "unit.search" in by_name
+    outer = by_name["session.search"][0]
+    inner = by_name["unit.search"][0]
+    assert inner["args"]["depth"] > outer["args"]["depth"]
+    assert outer["ts"] <= inner["ts"]
+    assert (inner["ts"] + inner["dur"]
+            <= outer["ts"] + outer["dur"] + 1e-6)
+    assert outer["args"]["engine"] == session.engine_name
+
+
+def test_unit_stats_publish_as_gauges(session):
+    _drive(session)
+    unit = getattr(session, "unit", None)
+    if unit is None:
+        pytest.skip("batch engine has no cycle-accurate unit to snapshot")
+    registry = obs.metrics()
+    stats = collect_stats(unit)
+    publish_stats(stats)  # works even while telemetry is disabled
+    assert registry.gauge("cam_unit_cells_total").value() == 128
+    assert registry.gauge("cam_unit_consumed_cells").value() == \
+        stats.consumed_cells
+    assert registry.gauge("cam_unit_holes").value() == stats.holes
+    assert registry.gauge("cam_unit_utilisation").value() == \
+        pytest.approx(stats.utilisation)
+    assert registry.gauge("cam_unit_balanced").value() == 1
+    group_fill = registry.gauge("cam_group_fill_cells")
+    assert sum(value for _key, value in group_fill.samples()) == \
+        stats.consumed_cells
+
+
+def test_memory_models_report():
+    from repro.mem import U250_SINGLE_CHANNEL
+
+    obs.enable(tracing=False)
+    U250_SINGLE_CHANNEL.stream_cycles(4096, frequency_mhz=300.0)
+    registry = obs.metrics()
+    assert registry.counter("mem_ddr_transactions_total").value(
+        kind="stream") == 1
+    assert registry.counter("mem_ddr_bytes_total").total() == 4096
+
+
+def test_tc_intersection_kernel_reports():
+    from repro.apps.tc.intersect import CamIntersector
+
+    obs.enable(tracing=True)
+    cam = CamIntersector()
+    common, _cycles = cam.intersect([1, 2, 3, 4], [2, 4, 9])
+    assert common == 2
+    registry = obs.metrics()
+    assert registry.counter("tc_intersections_total").total() == 1
+    assert registry.counter("tc_intersection_matches_total").total() == 2
+    names = {e["name"] for e in obs.tracer().events if e["ph"] == "X"}
+    assert "tc.intersect" in names
+    assert "session.search" in names
+
+
+def test_audit_engine_reports_audit_counters():
+    obs.enable(tracing=False)
+    session = CamSession(
+        unit_for_entries(64, block_size=16, data_width=16),
+        engine="audit", audit_sample=1.0, audit_seed=0,
+    )
+    session.update([1, 2, 3])
+    session.search([2, 9])
+    audited = obs.metrics().counter("cam_audit_ops_total")
+    assert audited.value(mode="audited") >= 1
+    assert obs.metrics().counter("cam_audit_divergences_total").total() == 0

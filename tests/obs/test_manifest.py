@@ -1,0 +1,80 @@
+"""Benchmark manifest schema: build, validate, write, load."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ObsError
+
+
+def _manifest() -> dict:
+    return obs.build_manifest(
+        name="table09",
+        config={"engine": "batch", "max_edges": 2000},
+        timings={"test_speedup": 1.25},
+        metrics={"metrics": []},
+    )
+
+
+def test_build_manifest_is_schema_valid():
+    manifest = _manifest()
+    assert manifest["schema"] == obs.MANIFEST_SCHEMA
+    assert manifest["name"] == "table09"
+    assert manifest["meta"]["version"]
+    assert "git_sha" in manifest["meta"]
+    assert manifest["timings"]["test_speedup"] == 1.25
+    obs.validate_manifest(manifest)
+
+
+def test_build_manifest_requires_name():
+    with pytest.raises(ObsError):
+        obs.build_manifest(name="")
+
+
+def test_validate_rejects_missing_keys_and_bad_types():
+    manifest = _manifest()
+    for key in ("schema", "name", "meta", "created_unix", "config",
+                "timings", "metrics"):
+        broken = dict(manifest)
+        del broken[key]
+        with pytest.raises(ObsError):
+            obs.validate_manifest(broken)
+    with pytest.raises(ObsError):
+        obs.validate_manifest(dict(_manifest(), timings={"t": "fast"}))
+    with pytest.raises(ObsError):
+        obs.validate_manifest(dict(_manifest(), schema="something/else"))
+    with pytest.raises(ObsError):
+        obs.validate_manifest([1, 2, 3])
+
+
+def test_validate_requires_provenance_in_meta():
+    manifest = _manifest()
+    manifest["meta"] = {"version": "1.0.0"}
+    with pytest.raises(ObsError):
+        obs.validate_manifest(manifest)
+
+
+def test_manifest_filename_sanitises():
+    assert obs.manifest_filename("table09") == "BENCH_table09.json"
+    assert obs.manifest_filename("a b/c") == "BENCH_a_b_c.json"
+
+
+def test_write_and_load_round_trip(tmp_path):
+    path = obs.write_manifest(_manifest(), str(tmp_path))
+    assert path.endswith("BENCH_table09.json")
+    loaded = obs.load_manifest(path)
+    assert loaded["config"]["max_edges"] == 2000
+
+
+def test_load_rejects_invalid_json_and_missing_files(tmp_path):
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(ObsError):
+        obs.load_manifest(str(bad))
+    with pytest.raises(ObsError):
+        obs.load_manifest(str(tmp_path / "missing.json"))
+    valid_json = tmp_path / "BENCH_other.json"
+    valid_json.write_text(json.dumps({"schema": "x"}))
+    with pytest.raises(ObsError):
+        obs.load_manifest(str(valid_json))

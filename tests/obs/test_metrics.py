@@ -1,0 +1,119 @@
+"""Metric primitives: counters, gauges, histogram bucket semantics."""
+
+import pytest
+
+from repro.errors import ObsError
+# ``repro.obs.metrics`` the submodule is shadowed by the
+# ``obs.metrics()`` accessor on the package, so import names directly.
+from repro.obs.metrics import (
+    CYCLE_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ----------------------------------------------------------------------
+# counters / gauges
+# ----------------------------------------------------------------------
+def test_counter_accumulates_per_label_set():
+    counter = Counter("ops_total")
+    counter.inc()
+    counter.inc(4, engine="batch")
+    counter.inc(1, engine="batch")
+    assert counter.value() == 1
+    assert counter.value(engine="batch") == 5
+    assert counter.total() == 6
+
+
+def test_counter_rejects_negative_increment():
+    counter = Counter("ops_total")
+    with pytest.raises(ObsError):
+        counter.inc(-1)
+
+
+def test_gauge_set_and_add():
+    gauge = Gauge("occupancy")
+    gauge.set(10)
+    gauge.add(-3)
+    assert gauge.value() == 7
+    gauge.set(2, group=1)
+    assert gauge.value(group=1) == 2
+
+
+def test_metric_name_validation():
+    with pytest.raises(ObsError):
+        Counter("bad name")
+    with pytest.raises(ObsError):
+        Counter("")
+
+
+# ----------------------------------------------------------------------
+# histogram bucket edges
+# ----------------------------------------------------------------------
+def test_histogram_edges_are_le_inclusive():
+    hist = Histogram("latency", buckets=(1, 4, 16))
+    for value in (1, 4, 4, 5, 16, 17, 1000):
+        hist.observe(value)
+    # value<=edge lands in that bucket: 1 -> [<=1]; 4,4 -> [<=4];
+    # 5,16 -> [<=16]; 17,1000 -> +Inf.
+    assert hist.bucket_counts() == [1, 2, 2, 2]
+    assert hist.cumulative_counts() == [1, 3, 5, 7]
+    assert hist.count() == 7
+    assert hist.sum() == 1 + 4 + 4 + 5 + 16 + 17 + 1000
+
+
+def test_histogram_per_label_state():
+    hist = Histogram("latency", buckets=(10,))
+    hist.observe(3, op="search")
+    hist.observe(30, op="update")
+    assert hist.bucket_counts(op="search") == [1, 0]
+    assert hist.bucket_counts(op="update") == [0, 1]
+    assert hist.bucket_counts(op="missing") == [0, 0]
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ObsError):
+        Histogram("h", buckets=())
+    with pytest.raises(ObsError):
+        Histogram("h", buckets=(4, 2))
+    with pytest.raises(ObsError):
+        Histogram("h", buckets=(1, 1, 2))
+
+
+def test_default_bucket_tables_are_strictly_increasing():
+    for table in (CYCLE_BUCKETS, SECONDS_BUCKETS):
+        assert list(table) == sorted(table)
+        assert len(set(table)) == len(table)
+
+
+# ----------------------------------------------------------------------
+# registry semantics
+# ----------------------------------------------------------------------
+def test_registry_get_or_create_returns_same_family():
+    registry = MetricsRegistry()
+    first = registry.counter("ops_total", help="operations")
+    second = registry.counter("ops_total")
+    assert first is second
+    assert second.help == "operations"
+    assert registry.names() == ["ops_total"]
+
+
+def test_registry_rejects_kind_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("ops_total")
+    with pytest.raises(ObsError):
+        registry.gauge("ops_total")
+    with pytest.raises(ObsError):
+        registry.histogram("ops_total")
+
+
+def test_registry_rejects_histogram_bucket_conflicts():
+    registry = MetricsRegistry()
+    registry.histogram("latency", buckets=(1, 2))
+    registry.histogram("latency", buckets=(1, 2))  # identical is fine
+    registry.histogram("latency")  # None -> keep existing
+    with pytest.raises(ObsError):
+        registry.histogram("latency", buckets=(1, 2, 3))

@@ -1,0 +1,149 @@
+"""Global telemetry state: lifecycle, guards, disabled-mode cost."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core import CamSession, unit_for_entries
+from repro.errors import ObsError
+
+
+def test_disabled_by_default():
+    assert not obs.enabled()
+    assert not obs.tracing_enabled()
+
+
+def test_enable_disable_reset_lifecycle():
+    obs.enable()
+    assert obs.enabled() and obs.tracing_enabled()
+    obs.inc("ops_total")
+    obs.disable()
+    assert not obs.enabled()
+    # Collected data survives disable...
+    assert obs.metrics().counter("ops_total").total() == 1
+    # ...and re-enabling appends to it.
+    obs.enable(tracing=False)
+    obs.inc("ops_total")
+    assert obs.metrics().counter("ops_total").total() == 2
+    assert not obs.tracing_enabled()
+    # reset drops everything.
+    obs.reset()
+    assert not obs.enabled()
+    assert len(obs.metrics()) == 0
+    assert obs.tracer().events == []
+
+
+def test_helpers_are_noops_while_disabled():
+    obs.inc("ops_total")
+    obs.set_gauge("occupancy", 5)
+    obs.observe("latency", 3)
+    obs.instant("mark")
+    assert obs.span("work") is obs.NULL_SPAN
+    assert len(obs.metrics()) == 0
+    assert obs.tracer().events == []
+
+
+def test_helpers_write_through_while_enabled():
+    obs.enable()
+    obs.inc("ops_total", 2, help="ops", engine="batch")
+    obs.set_gauge("occupancy", 5)
+    obs.observe("latency", 3, buckets=(1, 10))
+    with obs.span("work", keys=1):
+        obs.instant("mark")
+    assert obs.metrics().counter("ops_total").value(engine="batch") == 2
+    assert obs.metrics().gauge("occupancy").value() == 5
+    assert obs.metrics().histogram("latency").count() == 1
+    names = [e["name"] for e in obs.tracer().events]
+    assert names == ["mark", "work"]
+
+
+def test_name_label_does_not_collide_with_positional_name():
+    obs.enable()
+    with obs.span("tc.dataset", name="roadNet-CA"):
+        pass
+    obs.inc("rows_total", 1, name="roadNet-CA")
+    assert obs.tracer().events[0]["args"]["name"] == "roadNet-CA"
+    assert obs.metrics().counter("rows_total").value(name="roadNet-CA") == 1
+
+
+def test_enable_rejects_bad_sample():
+    with pytest.raises(ObsError):
+        obs.enable(tracing=True, sample=2.0)
+
+
+def _workload(session: CamSession) -> None:
+    words = list(range(200, 328))
+    session.update(words)
+    session.search(words[:64] + [10**6])
+    session.delete(words[0])
+
+
+def test_disabled_mode_records_nothing_through_real_sessions():
+    session = CamSession(
+        unit_for_entries(256, block_size=64, data_width=32),
+        engine="batch",
+    )
+    _workload(session)
+    assert len(obs.metrics()) == 0
+    assert obs.tracer().span_count() == 0
+
+
+@pytest.mark.slow
+def test_disabled_mode_overhead_under_five_percent():
+    """Instrumentation with telemetry off costs <5% vs stubbed-out obs.
+
+    The stub replaces the module-level helpers with bare no-ops -- the
+    closest available stand-in for "the code had never been
+    instrumented". Interleaved best-of-N keeps the comparison robust to
+    scheduler noise.
+    """
+    config = unit_for_entries(512, block_size=128, data_width=32)
+
+    def run_real() -> float:
+        session = CamSession(config, engine="batch")
+        start = time.perf_counter()
+        for _ in range(8):
+            _workload(session)
+            session.reset()
+        return time.perf_counter() - start
+
+    null_span = obs.NULL_SPAN
+
+    def run_stubbed(monkey) -> float:
+        session = CamSession(config, engine="batch")
+        start = time.perf_counter()
+        for _ in range(8):
+            _workload(session)
+            session.reset()
+        return time.perf_counter() - start
+
+    import repro.obs as obs_module
+
+    real_span, real_enabled = obs_module.span, obs_module.enabled
+    stub_span = lambda *a, **k: null_span  # noqa: E731
+    stub_enabled = lambda: False  # noqa: E731
+
+    best_real = float("inf")
+    best_stub = float("inf")
+    # Warm-up round then interleaved measurement.
+    run_real()
+    try:
+        for _ in range(7):
+            best_real = min(best_real, run_real())
+            obs_module.span = stub_span
+            obs_module.enabled = stub_enabled
+            try:
+                best_stub = min(best_stub, run_stubbed(None))
+            finally:
+                obs_module.span = real_span
+                obs_module.enabled = real_enabled
+    finally:
+        obs_module.span = real_span
+        obs_module.enabled = real_enabled
+
+    # 5% relative plus a small absolute epsilon for timer granularity.
+    assert best_real <= best_stub * 1.05 + 0.002, (
+        f"disabled telemetry overhead too high: real={best_real:.6f}s "
+        f"stub={best_stub:.6f}s"
+    )

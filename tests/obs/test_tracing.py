@@ -1,0 +1,153 @@
+"""Span tracing: nesting, sampling, Chrome export, sim unification."""
+
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.tracing import NULL_SPAN, TID_SIM, TID_SPANS, Tracer
+from repro.sim import Component, Simulator, Trace
+
+
+def _contains(outer: dict, inner: dict) -> bool:
+    return (outer["ts"] <= inner["ts"]
+            and inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6)
+
+
+def test_spans_nest_with_the_with_stack():
+    tracer = Tracer(enabled=True)
+    with tracer.span("session.search", keys=3):
+        with tracer.span("unit.search"):
+            pass
+        with tracer.span("unit.drain"):
+            pass
+    events = tracer.events
+    assert [e["name"] for e in events] == [
+        "unit.search", "unit.drain", "session.search",
+    ]
+    outer = events[-1]
+    assert outer["args"]["depth"] == 0
+    assert outer["args"]["keys"] == 3
+    assert outer["cat"] == "session"
+    for inner in events[:2]:
+        assert inner["args"]["depth"] == 1
+        assert _contains(outer, inner)
+
+
+def test_span_set_attaches_late_arguments():
+    tracer = Tracer(enabled=True)
+    with tracer.span("work") as span:
+        span.set(rows=42)
+    assert tracer.events[0]["args"]["rows"] == 42
+
+
+def test_span_records_exception_class():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(ValueError):
+        with tracer.span("work"):
+            raise ValueError("boom")
+    assert tracer.events[0]["args"]["error"] == "ValueError"
+
+
+def test_disabled_tracer_returns_shared_null_span():
+    tracer = Tracer(enabled=False)
+    assert tracer.span("anything", x=1) is NULL_SPAN
+    with tracer.span("anything"):
+        pass
+    assert tracer.events == []
+    assert tracer.span_count() == 0
+
+
+def test_sampling_suppresses_whole_subtrees():
+    tracer = Tracer(enabled=True, sample=0.0, seed=1)
+    with tracer.span("root"):
+        with tracer.span("child"):
+            tracer.instant("mark")
+    assert tracer.events == []
+
+    keep_all = Tracer(enabled=True, sample=1.0)
+    with keep_all.span("root"):
+        with keep_all.span("child"):
+            pass
+    assert keep_all.span_count() == 2
+
+
+def test_sampling_keeps_a_seeded_fraction_of_roots():
+    tracer = Tracer(enabled=True, sample=0.5, seed=3)
+    for _ in range(200):
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+    kept = tracer.span_count() // 2
+    assert 60 <= kept <= 140
+    # Every kept root kept exactly its child: tree consistency.
+    names = [e["name"] for e in tracer.events]
+    assert names.count("root") == names.count("child")
+
+
+def test_invalid_sample_rejected():
+    with pytest.raises(ObsError):
+        Tracer(enabled=True, sample=1.5)
+
+
+def test_chrome_export_round_trip(tmp_path):
+    tracer = Tracer(enabled=True)
+    with tracer.span("session.update", words=2):
+        tracer.instant("mark", note="hello")
+    path = tmp_path / "trace.json"
+    spans = tracer.write_chrome(str(path))
+    assert spans == 1
+
+    loaded = json.loads(path.read_text())
+    events = loaded["traceEvents"]
+    assert {e["ph"] for e in events} <= {"M", "X", "i"}
+    # Metadata names the tracks so Perfetto labels them.
+    metadata = [e for e in events if e["ph"] == "M"]
+    assert {e["args"]["name"] for e in metadata} >= {
+        "spans", "sim signals (cycles)", "repro",
+    }
+    complete = [e for e in events if e["ph"] == "X"]
+    assert complete[0]["name"] == "session.update"
+    assert complete[0]["dur"] >= 0
+    assert loaded["otherData"]["version"]
+
+
+class _Blinker(Component):
+    def reset_state(self):
+        self.n = 0
+
+    def compute(self):
+        self.emit(led=self.n % 2)
+        self.schedule(n=self.n + 1)
+
+
+def test_sim_trace_unifies_onto_the_sim_track():
+    trace = Trace()
+    Simulator(_Blinker("blink"), trace=trace).step(4)
+    tracer = Tracer(enabled=False)  # explicit export works while disabled
+    added = tracer.add_sim_trace(trace, frequency_mhz=100.0)
+    assert added == 4
+    sim_events = [e for e in tracer.events if e["tid"] == TID_SIM]
+    assert len(sim_events) == 4
+    assert all(e["ph"] == "i" for e in sim_events)
+    assert sim_events[1]["ts"] == pytest.approx(1 / 100.0)
+    assert sim_events[0]["name"] == "blink.led"
+    assert not any(e["tid"] == TID_SPANS for e in tracer.events)
+
+
+def test_sim_trace_truncation_becomes_a_marker_event():
+    trace = Trace(limit=2)
+    Simulator(_Blinker("blink"), trace=trace).step(10)
+    assert trace.truncated
+    tracer = Tracer(enabled=False)
+    tracer.add_sim_trace(trace)
+    markers = [e for e in tracer.events if e["name"] == "sim.trace_truncated"]
+    assert len(markers) == 1
+    assert markers[0]["args"]["dropped_events"] == trace.dropped
+
+
+def test_add_sim_trace_rejects_bad_frequency():
+    trace = Trace()
+    Simulator(_Blinker("blink"), trace=trace).step(2)
+    with pytest.raises(ObsError):
+        Tracer().add_sim_trace(trace, frequency_mhz=0)

@@ -34,10 +34,38 @@ def test_first_cycle_lookup():
     assert trace.first_cycle("e", "n", 99) is None
 
 
-def test_limit_caps_event_count():
+def test_limit_caps_event_count_atomically():
+    # Each cycle emits 2 signals in one record() call; limit=3 fits one
+    # whole emission, and the overflowing emission is dropped atomically
+    # (no partial cycle) with the truncation flag latched.
     trace = Trace(limit=3)
     Simulator(Emitter("e"), trace=trace).step(10)
-    assert len(trace) == 3
+    assert len(trace) == 2
+    assert trace.truncated
+    assert trace.dropped == 2 * 9
+    assert trace.limit == 3
+
+
+def test_unlimited_trace_is_not_truncated():
+    trace = Trace()
+    Simulator(Emitter("e"), trace=trace).step(4)
+    assert not trace.truncated
+    assert trace.dropped == 0
+    assert "[truncated" not in trace.to_text()
+
+
+def test_truncated_trace_warns_once_and_marks_text_dump():
+    import warnings
+
+    trace = Trace(limit=2)
+    Simulator(Emitter("e"), trace=trace).step(5)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        trace.events()
+        trace.events("e")
+    assert len(caught) == 1
+    assert "truncated" in str(caught[0].message)
+    assert trace.to_text().splitlines()[-1].startswith("[truncated")
 
 
 def test_to_text_renders_every_event():
