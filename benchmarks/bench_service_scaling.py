@@ -1,0 +1,142 @@
+"""Shard scaling of the sharded CAM on the Table IX probe workload.
+
+The workload is the adjacency-intersection stream behind Table IX:
+hub adjacency sets of a power-law graph are stored in the CAM, then
+the probe sides of sampled edges stream through as membership
+lookups (each hit is one intersection contribution, exactly what the
+triangle-counting pipeline asks the CAM per edge).
+
+Scaling model: each shard keeps the *same* per-shard configuration
+(the hardware unit is fixed; sharding adds units side by side).  The
+hash policy pins every key to one shard, so a stream of K probes
+splits into ~K/N per-shard streams executed in parallel banks; the
+service-level cost is the *maximum* shard cycle count.  Doubling the
+shards should therefore roughly halve the simulated cycles, and the
+archived artefact asserts >= 3x throughput at 4 shards vs 1.
+
+A second, informational section drives the same shard counts through
+the async :class:`CamService` front door (admission -> micro-batching
+-> merge) to show the full service path stays correct under the
+scaling run; wall-clock there is host-noise-bound and not asserted.
+"""
+
+import pytest
+
+from conftest import run_once
+
+from repro.core import unit_for_entries
+from repro.graph import power_law
+from repro.service import (
+    CamService,
+    ShardedCam,
+    WorkloadSpec,
+    demo_cam,
+    drive_service,
+)
+
+SHARD_COUNTS = (1, 2, 4)
+PROBE_BATCH = 512
+
+
+def shard_config():
+    """The fixed per-shard hardware unit (1024 entries, 64-cell blocks)."""
+    return unit_for_entries(1024, block_size=64, data_width=32,
+                            bus_width=512)
+
+
+def table09_probe_workload():
+    """Stored hub adjacency + probe stream from the Table IX graph."""
+    graph = power_law(2000, 12_000, triangle_fraction=0.4, seed=3)
+    order = sorted(range(graph.num_vertices), key=graph.degree,
+                   reverse=True)
+    capacity = shard_config().num_blocks * 64
+    stored, seen = [], set()
+    for hub in order:
+        for neighbor in graph.neighbors(hub):
+            value = int(neighbor)
+            if value not in seen:
+                seen.add(value)
+                stored.append(value)
+        if len(stored) >= int(capacity * 0.6):
+            break
+    probes = []
+    for u, v in graph.edges():
+        side = u if graph.degree(u) <= graph.degree(v) else v
+        probes.extend(int(w) for w in graph.neighbors(side))
+        if len(probes) >= 16_000:
+            break
+    return stored, probes
+
+
+def run_stream(shards: int, stored, probes) -> dict:
+    cam = ShardedCam(shard_config(), shards=shards, policy="hash",
+                     engine="batch")
+    cam.update(stored)
+    hits = 0
+    for start in range(0, len(probes), PROBE_BATCH):
+        batch = probes[start:start + PROBE_BATCH]
+        hits += sum(r.hit for r in cam.search(batch))
+    cycles = cam.cycle
+    return {
+        "shards": shards,
+        "cycles": cycles,
+        "hits": hits,
+        "keys_per_cycle": len(probes) / cycles,
+    }
+
+
+def test_shard_scaling_on_table09_probes(benchmark, record_text):
+    stored, probes = table09_probe_workload()
+
+    results = {}
+    for shards in SHARD_COUNTS[:-1]:
+        results[shards] = run_stream(shards, stored, probes)
+    results[SHARD_COUNTS[-1]] = run_once(
+        benchmark, lambda: run_stream(SHARD_COUNTS[-1], stored, probes)
+    )
+
+    base = results[1]
+    # identical answers at every shard count
+    assert len({r["hits"] for r in results.values()}) == 1
+
+    lines = [
+        "sharded CAM scaling -- Table IX adjacency-probe stream",
+        f"({len(stored)} stored hub-neighbor words, {len(probes)} probes, "
+        "hash policy, constant per-shard unit: 1024 entries x 32 bit)",
+        "",
+        f"{'shards':>6s} {'sim cycles':>11s} {'keys/cycle':>11s} "
+        f"{'speedup':>8s}",
+    ]
+    for shards in SHARD_COUNTS:
+        row = results[shards]
+        speedup = base["cycles"] / row["cycles"]
+        lines.append(
+            f"{shards:6d} {row['cycles']:11d} "
+            f"{row['keys_per_cycle']:11.3f} {speedup:8.2f}"
+        )
+    record_text("service_shard_scaling", "\n".join(lines))
+
+    speedup_at_4 = base["cycles"] / results[4]["cycles"]
+    assert speedup_at_4 >= 3.0, (
+        f"4 shards only {speedup_at_4:.2f}x over 1 shard"
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_service_front_door_serves_scaled_cam(benchmark, shards):
+    """The async service path stays healthy at both ends of the sweep."""
+    import asyncio
+
+    async def scenario():
+        cam = demo_cam(entries_per_shard=512, shards=shards,
+                       block_size=64)
+        async with CamService(cam, max_batch=64,
+                              request_timeout_s=10.0) as service:
+            return await drive_service(
+                service, WorkloadSpec(requests=400, clients=8, seed=5)
+            )
+
+    report = run_once(benchmark, lambda: asyncio.run(scenario()))
+    assert report.ok == report.requests
+    assert report.timeouts == report.shard_failures == 0
+    assert report.mean_batch_occupancy >= 1.0

@@ -21,7 +21,8 @@ Run:  python examples/batch_audit.py
 
 import time
 
-from repro.core import CamSession, check_three_way, unit_for_entries
+import repro
+from repro.core import check_three_way, unit_for_entries
 from repro.errors import AuditError
 
 
@@ -37,7 +38,7 @@ def main() -> None:
     print("engine comparison (same workload)")
     outcomes = {}
     for engine in ("cycle", "batch"):
-        session = CamSession(config, engine=engine)
+        session = repro.open_session(config, engine=engine)
         start = time.perf_counter()
         session.update(words)
         hits = sum(session.search_one(p).hit for p in probes)
@@ -51,8 +52,8 @@ def main() -> None:
 
     # --- the audit engine: batch speed, sampled cycle-accurate shadow --
     print("audit engine (every episode shadowed: audit_sample=1.0)")
-    session = CamSession(config, engine="audit", audit_sample=1.0,
-                         audit_seed=42)
+    session = repro.open_session(config, engine="audit", audit_sample=1.0,
+                                 audit_seed=42)
     session.update(words[:50])
     for probe in (words[3], words[7], 999):
         session.search_one(probe)

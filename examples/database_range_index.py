@@ -17,7 +17,8 @@ Run:  python examples/database_range_index.py
 import numpy as np
 
 from repro.apps.packet import expand_range
-from repro.core import CamSession, CamType, range_entry, unit_for_entries
+import repro
+from repro.core import CamType, range_entry, unit_for_entries
 
 PRICE_BITS = 20
 
@@ -43,7 +44,7 @@ def main() -> None:
         ("premium", 10_000, 49_999),
         ("luxury", 50_000, 1_048_575),
     ]
-    session = CamSession(unit_for_entries(
+    session = repro.open_session(unit_for_entries(
         128, block_size=64, data_width=PRICE_BITS,
         bus_width=512, cam_type=CamType.RANGE,
     ))

@@ -9,7 +9,8 @@ of searches takes at every legal group count of one unit.
 Run:  python examples/multi_query_scaling.py
 """
 
-from repro.core import CamSession, unit_for_entries
+import repro
+from repro.core import unit_for_entries
 
 TOTAL_ENTRIES = 512
 BLOCK_SIZE = 64  # 8 blocks: group counts 1, 2, 4, 8
@@ -25,7 +26,7 @@ def main() -> None:
         TOTAL_ENTRIES, block_size=BLOCK_SIZE, data_width=32,
         bus_width=512, default_groups=1,
     )
-    session = CamSession(config)
+    session = repro.open_session(config)
     counts = legal_group_counts(config.num_blocks)
     print(f"unit: {config.num_blocks} blocks x {BLOCK_SIZE} cells, "
           f"search latency {config.search_latency} cycles")

@@ -9,7 +9,8 @@ extension. Every latency printed is a *measured* simulator cycle count.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import CamSession, CamType, unit_for_entries
+import repro
+from repro.core import CamType, unit_for_entries
 
 
 def main() -> None:
@@ -24,7 +25,7 @@ def main() -> None:
         cam_type=CamType.BINARY,
         default_groups=2,
     )
-    session = CamSession(config)
+    session = repro.open_session(config)
     print("configuration")
     print(f"  blocks            : {config.num_blocks} x {config.block.block_size} cells")
     print(f"  DSP slices        : {config.total_entries} (one per cell)")

@@ -10,13 +10,20 @@ the paper's evaluation.
 
 Quick start::
 
-    from repro.core import CamSession, unit_for_entries
+    import repro
+    from repro.core import unit_for_entries
 
-    session = CamSession(unit_for_entries(256, block_size=64,
-                                          data_width=32, default_groups=2))
+    session = repro.open_session(
+        unit_for_entries(256, block_size=64, data_width=32,
+                         default_groups=2))
     session.update([10, 20, 30])
     result = session.search_one(20)
     assert result.hit and result.address == 1
+
+:func:`repro.open_session` is the single session constructor: pick an
+execution engine (``"cycle"``, ``"batch"``, ``"audit"``) and optionally
+shard the key space (``shards=4``) for the async service layer
+(:mod:`repro.service`).
 
 See README.md for the architecture overview and DESIGN.md for the
 system inventory and paper-substitution notes.
@@ -24,4 +31,14 @@ system inventory and paper-substitution notes.
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "open_session"]
+
+
+def __getattr__(name):
+    # Lazy re-export (PEP 562): `repro` must stay import-light because
+    # the engine modules themselves import `repro.obs` at load time.
+    if name == "open_session":
+        from repro.core.batch import open_session
+
+        return open_session
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro import obs
-from repro.core import CamSession, CamType, unit_for_entries
+from repro.core import CamType, open_session, unit_for_entries
 from repro.errors import ConfigError
 
 
@@ -48,6 +48,7 @@ class CamTlb:
 
     def __init__(
         self,
+        *,
         entries: int = 64,
         vpn_bits: int = 20,
         block_size: int = 16,
@@ -58,7 +59,7 @@ class CamTlb:
             raise ConfigError(f"vpn_bits must be 1..48, got {vpn_bits}")
         self.entries = entries
         self.vpn_bits = vpn_bits
-        self.session = CamSession(unit_for_entries(
+        self.session = open_session(unit_for_entries(
             entries,
             block_size=min(block_size, entries),
             data_width=vpn_bits,

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro import obs
-from repro.core import CamSession, CamType, unit_for_entries
+from repro.core import CamType, open_session, unit_for_entries
 from repro.errors import CapacityError
 
 
@@ -43,6 +43,7 @@ class CamDistinct:
 
     def __init__(
         self,
+        *,
         total_entries: int = 256,
         block_size: int = 64,
         key_width: int = 32,
@@ -57,7 +58,7 @@ class CamDistinct:
             cam_type=CamType.BINARY,
             default_groups=1,
         )
-        self.session = CamSession(self.config, engine=engine, **session_kwargs)
+        self.session = open_session(self.config, engine=engine, **session_kwargs)
 
     @property
     def capacity(self) -> int:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro import obs
-from repro.core import CamSession, CamType, unit_for_entries
+from repro.core import CamType, open_session, unit_for_entries
 from repro.errors import ConfigError
 
 
@@ -38,6 +38,7 @@ class CamJoin:
 
     def __init__(
         self,
+        *,
         total_entries: int = 1024,
         block_size: int = 128,
         key_width: int = 32,
@@ -52,7 +53,7 @@ class CamJoin:
             cam_type=CamType.BINARY,
             default_groups=1,
         )
-        self.session = CamSession(self.config, engine=engine, **session_kwargs)
+        self.session = open_session(self.config, engine=engine, **session_kwargs)
         self.key_width = key_width
 
     @property

@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.apps.packet.ranges import expand_range
-from repro.core import CamSession, CamType, unit_for_entries
+from repro.core import CamType, open_session, unit_for_entries
 from repro.core.mask import CamEntry, ternary_entry
 from repro.errors import CapacityError, ConfigError
 
@@ -126,6 +126,7 @@ class PacketClassifier:
 
     def __init__(
         self,
+        *,
         capacity: int = 256,
         block_size: int = 64,
         engine: str = "cycle",
@@ -138,7 +139,7 @@ class PacketClassifier:
             bus_width=512,
             cam_type=CamType.TERNARY,
         )
-        self.session = CamSession(config, engine=engine, **session_kwargs)
+        self.session = open_session(config, engine=engine, **session_kwargs)
         self._rules: List[Rule] = []
         #: entry address -> rule index (ranges expand to several entries)
         self._entry_rule: List[int] = []

@@ -16,7 +16,7 @@ import ipaddress
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
-from repro.core import CamSession, CamType, ternary_entry, unit_for_entries
+from repro.core import CamType, open_session, ternary_entry, unit_for_entries
 from repro.errors import CapacityError, ConfigError
 
 IPV4_BITS = 32
@@ -74,6 +74,7 @@ class LpmRouter:
 
     def __init__(
         self,
+        *,
         capacity: int = 256,
         block_size: int = 64,
         concurrent_lookups: int = 1,
@@ -88,7 +89,7 @@ class LpmRouter:
             cam_type=CamType.TERNARY,
             default_groups=concurrent_lookups,
         )
-        self.session = CamSession(config, engine=engine, **session_kwargs)
+        self.session = open_session(config, engine=engine, **session_kwargs)
         self._routes: List[Route] = []
         self._table: List[Route] = []
         self._compiled = False

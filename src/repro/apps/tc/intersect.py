@@ -25,7 +25,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro import obs
-from repro.core import CamSession, CamType, unit_for_entries
+from repro.core import CamType, open_session, unit_for_entries
 from repro.errors import CapacityError
 
 
@@ -57,15 +57,24 @@ class CamIntersector:
     down by default so tests stay fast. The group count is chosen per
     pair from the longer list's length, exactly like the accelerator's
     runtime regrouping.
+
+    ``shards > 1`` swaps the single unit for a
+    :class:`~repro.service.sharded.ShardedCam` of that many units
+    (``total_entries`` each): the stored list is hash-partitioned and
+    each streamed key only probes the shard that could hold it --
+    bank-level parallelism instead of regrouping.
     """
 
     def __init__(
         self,
+        *,
         total_entries: int = 512,
         block_size: int = 128,
         data_width: int = 32,
         bus_width: int = 512,
         engine: str = "cycle",
+        shards: int = 1,
+        shard_policy="hash",
         **session_kwargs,
     ) -> None:
         self.config = unit_for_entries(
@@ -77,7 +86,10 @@ class CamIntersector:
             default_groups=1,
         )
         self.engine = engine
-        self.session = CamSession(self.config, engine=engine, **session_kwargs)
+        self.shards = shards
+        self.session = open_session(self.config, engine=engine,
+                                    shards=shards, policy=shard_policy,
+                                    **session_kwargs)
         self.block_size = block_size
         self.num_blocks = self.config.num_blocks
 
@@ -106,16 +118,24 @@ class CamIntersector:
         shorter = [int(v) for v in shorter]
         if not longer or not shorter:
             return 0, 0
-        if len(longer) > self.config.total_entries:
+        # Group-independent bound: replicated groups shrink the session's
+        # *visible* capacity, but the upcoming set_groups() picks m to fit.
+        capacity = self.config.total_entries * self.shards
+        if len(longer) > capacity:
             raise CapacityError(
                 f"longer list ({len(longer)}) exceeds the CAM capacity "
-                f"({self.config.total_entries}); tile it first"
+                f"({capacity}); tile it first"
             )
         with obs.span("tc.intersect", engine=self.engine,
                       stored=len(longer), streamed=len(shorter)) as span:
             start = self.session.cycle
-            m = self.groups_for(len(longer))
-            self.session.set_groups(m)
+            # One shard parallelises by regrouping (multi-query); a
+            # sharded backend parallelises by partitioning instead, so
+            # each shard keeps a single group.
+            m = 1
+            if self.shards == 1:
+                m = self.groups_for(len(longer))
+                self.session.set_groups(m)
             self.session.update(longer)
             results = self.session.search(shorter)
             common = sum(1 for result in results if result.hit)

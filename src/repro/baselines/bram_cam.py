@@ -41,7 +41,7 @@ class BramCam(BaselineCam):
     category = "BRAM"
 
     def __init__(
-        self, capacity: int, data_width: int, pump_factor: int = 1
+        self, capacity: int, data_width: int, *, pump_factor: int = 1
     ) -> None:
         super().__init__(capacity, data_width)
         if pump_factor < 1:

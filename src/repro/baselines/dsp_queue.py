@@ -36,7 +36,7 @@ class DspCascadeCam(BaselineCam):
     category = "DSP"
 
     def __init__(
-        self, capacity: int, data_width: int, lanes: int = REFERENCE_LANES
+        self, capacity: int, data_width: int, *, lanes: int = REFERENCE_LANES
     ) -> None:
         super().__init__(capacity, data_width)
         if data_width > 48:

@@ -41,7 +41,7 @@ class LutRamCam(BaselineCam):
     category = "LUT"
 
     def __init__(
-        self, capacity: int, data_width: int, chunk_bits: int = 5
+        self, capacity: int, data_width: int, *, chunk_bits: int = 5
     ) -> None:
         super().__init__(capacity, data_width)
         if not 1 <= chunk_bits <= 9:

@@ -14,6 +14,8 @@ Subcommands:
   the metrics registry (Prometheus text + JSON)
 - ``trace``                      -- run a traced workload and write a
   Chrome trace-event JSON (open in Perfetto)
+- ``serve-demo``                 -- drive the sharded async CAM service
+  with synthetic concurrent traffic (see ``docs/service.md``)
 - ``validate-manifest``          -- schema-check a ``BENCH_*.json`` file
 
 ``demo``, ``tc`` and ``audit`` accept ``--trace-out PATH`` to capture
@@ -30,7 +32,7 @@ from typing import List, Optional
 
 from repro import __version__, obs
 from repro.bench.experiments import ALL_EXHIBITS
-from repro.core import CamSession, CamType, unit_for_entries
+from repro.core import CamSession, CamType, open_session, unit_for_entries
 from repro.errors import ReproError
 from repro.graph.datasets import dataset_names
 from repro.hdlgen import write_project
@@ -129,6 +131,36 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sample", type=float, default=1.0,
                        help="fraction of root spans to keep (0..1)")
 
+    serve = sub.add_parser(
+        "serve-demo",
+        help="drive the sharded async CAM service with synthetic traffic",
+    )
+    serve.add_argument("--shards", type=int, default=4)
+    serve.add_argument("--policy", choices=["hash", "range", "round_robin"],
+                       default="hash")
+    serve.add_argument("--engine", choices=["cycle", "batch", "audit"],
+                       default="batch")
+    serve.add_argument("--entries-per-shard", type=int, default=512)
+    serve.add_argument("--requests", type=int, default=2000)
+    serve.add_argument("--clients", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch size cap per shard dispatcher")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="max wait to fill a micro-batch")
+    serve.add_argument("--queue-depth", type=int, default=1024,
+                       help="bounded admission queue size")
+    serve.add_argument("--timeout-ms", type=float, default=5000.0,
+                       help="per-request deadline from admission")
+    serve.add_argument("--poison-shard", type=int, default=None,
+                       metavar="INDEX",
+                       help="inject a backend fault into this shard to "
+                            "demonstrate failure isolation")
+    serve.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace of the run (Perfetto)")
+    serve.add_argument("--manifest-out", default=None, metavar="PATH",
+                       help="write a BENCH-style run manifest (JSON)")
+
     validate = sub.add_parser(
         "validate-manifest",
         help="schema-check a BENCH_*.json benchmark manifest",
@@ -197,7 +229,7 @@ def _cmd_demo(entries: int, groups: int, engine: str = "cycle",
         obs.reset()
         obs.enable(tracing=bool(trace_out))
     start = time.perf_counter()
-    session = CamSession(unit_for_entries(
+    session = open_session(unit_for_entries(
         entries, block_size=64, data_width=32, default_groups=groups,
         cam_type=CamType.BINARY,
     ), engine=engine)
@@ -337,7 +369,7 @@ def _run_sample_workload(engine: str) -> CamSession:
     Exercises update, search (hits and misses), delete-by-content and a
     regroup so every instrumented counter family fires.
     """
-    session = CamSession(unit_for_entries(
+    session = open_session(unit_for_entries(
         256, block_size=64, data_width=32, default_groups=2,
         cam_type=CamType.BINARY,
     ), engine=engine)
@@ -385,6 +417,77 @@ def _cmd_trace(out_path: str, engine: str, sample: float) -> int:
     sim_session.search([0xBB])
     obs.tracer().add_sim_trace(sim_session.trace)
     _write_trace(out_path)
+    return 0
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    from repro.service import WorkloadSpec, demo_cam, run_demo_workload
+
+    if args.trace_out or args.manifest_out:
+        obs.reset()
+        obs.enable(tracing=bool(args.trace_out))
+    cam = demo_cam(
+        entries_per_shard=args.entries_per_shard,
+        shards=args.shards,
+        engine=args.engine,
+        policy=args.policy,
+        poison_shard=args.poison_shard,
+    )
+    spec = WorkloadSpec(requests=args.requests, clients=args.clients,
+                        seed=args.seed)
+    print(f"service: {cam.engine_name}, policy={args.policy}, "
+          f"capacity={cam.capacity}")
+    print(f"traffic: {spec.requests} requests from {spec.clients} clients "
+          f"(seed {spec.seed})")
+    report = run_demo_workload(
+        cam,
+        spec,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        queue_depth=args.queue_depth,
+        request_timeout_s=args.timeout_ms / 1e3,
+    )
+    print(report.render())
+    _write_trace(args.trace_out)
+    if args.manifest_out:
+        manifest = obs.build_manifest(
+            name="cli_serve_demo",
+            config={
+                "shards": args.shards,
+                "policy": args.policy,
+                "engine": args.engine,
+                "entries_per_shard": args.entries_per_shard,
+                "requests": spec.requests,
+                "clients": spec.clients,
+                "max_batch": args.max_batch,
+                "max_delay_ms": args.max_delay_ms,
+                "queue_depth": args.queue_depth,
+                "timeout_ms": args.timeout_ms,
+                "poison_shard": args.poison_shard,
+            },
+            timings={"wall_s": report.wall_s},
+            metrics=obs.metrics().snapshot(),
+            extra={
+                "ok": report.ok,
+                "timeouts": report.timeouts,
+                "shard_failures": report.shard_failures,
+                "rejected": report.rejected,
+                "throughput_rps": report.throughput_rps,
+                "latency_p99_ms": report.latency_percentile(0.99) * 1e3,
+                "mean_batch_occupancy": report.mean_batch_occupancy,
+                "poisoned_shards": report.poisoned_shards,
+                "simulated_cycles": report.simulated_cycles,
+            },
+        )
+        with open(args.manifest_out, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote manifest to {args.manifest_out}")
+    if args.trace_out or args.manifest_out:
+        obs.disable()
+    degraded = report.timeouts + report.shard_failures + report.client_errors
+    if args.poison_shard is None and degraded:
+        return 1
     return 0
 
 
@@ -438,6 +541,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_metrics(args.engine, args.fmt)
         if args.command == "trace":
             return _cmd_trace(args.out, args.engine, args.sample)
+        if args.command == "serve-demo":
+            return _cmd_serve_demo(args)
         if args.command == "validate-manifest":
             return _cmd_validate_manifest(args.path)
         if args.command == "sweep":

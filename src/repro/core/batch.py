@@ -684,12 +684,39 @@ def session_class_for(engine: str) -> Type[CamSession]:
 
 
 def open_session(
-    config: UnitConfig, engine: str = "cycle", **kwargs
-) -> CamSession:
+    config: UnitConfig,
+    engine: str = "cycle",
+    *,
+    shards: int = 1,
+    policy="hash",
+    **kwargs,
+):
     """Construct a session on the requested execution engine.
 
-    ``kwargs`` are forwarded to the engine's constructor (``trace`` and
-    ``name`` everywhere; ``audit_sample``/``audit_seed``/``strict`` for
-    the audit engine).
+    The one front door for every execution backend (re-exported as
+    :func:`repro.open_session`):
+
+    - ``engine`` picks the per-unit backend: ``"cycle"`` (register
+      accurate), ``"batch"`` (NumPy vectorized) or ``"audit"``
+      (vectorized with a differential cycle-accurate shadow);
+    - ``shards > 1`` returns a
+      :class:`~repro.service.sharded.ShardedCam` that partitions the
+      key space across that many independent ``engine`` sessions
+      (``config`` describes one shard) under the given shard
+      ``policy`` -- a name from
+      :data:`repro.service.sharding.POLICIES` or a
+      :class:`~repro.service.sharding.ShardPolicy` instance. With the
+      default ``shards=1`` the ``policy`` argument is ignored.
+
+    Remaining ``kwargs`` are forwarded to the backend constructor
+    (``trace`` and ``name`` everywhere; ``audit_sample`` /
+    ``audit_seed`` / ``strict`` for the audit engine).
     """
+    if shards < 1:
+        raise ConfigError(f"shards must be >= 1, got {shards}")
+    if shards > 1:
+        from repro.service.sharded import ShardedCam
+
+        return ShardedCam(config, shards=shards, policy=policy,
+                          engine=engine, **kwargs)
     return session_class_for(engine)(config, **kwargs)

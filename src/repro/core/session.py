@@ -109,8 +109,24 @@ class CamSession:
     engine_name = "cycle"
 
     def __new__(cls, config=None, *args, **kwargs):
-        engine = kwargs.get("engine", "cycle")
+        # Deprecated dispatch shim: `engine` is the 4th parameter of
+        # __init__ (config, trace, name, engine), so it can arrive
+        # positionally as args[2] -- historically only the keyword
+        # spelling dispatched and a positional engine was silently
+        # dropped, returning a cycle session.
+        engine = kwargs.get("engine")
+        if engine is None and len(args) >= 3:
+            engine = args[2]
         if cls is CamSession and engine not in (None, "cycle"):
+            import warnings
+
+            warnings.warn(
+                "engine dispatch through CamSession(config, engine=...) is "
+                "deprecated; construct sessions with "
+                "repro.open_session(config, engine=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             from repro.core.batch import session_class_for
 
             return super().__new__(session_class_for(engine))

@@ -108,7 +108,9 @@ def check_equivalence(
         raise ConfigError(f"operations must be >= 1, got {operations}")
     rng = np.random.default_rng(seed)
     if session is None:
-        session = CamSession(config, engine=engine)
+        from repro.core.batch import open_session
+
+        session = open_session(config, engine=engine)
     session.reset()
     capacity = session.capacity
     reference = ReferenceCam(capacity)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.core.batch import open_session
 from repro.core.config import unit_for_entries
 from repro.core.mask import CamEntry
 from repro.core.session import CamSession
@@ -65,6 +66,7 @@ class WideCamSession:
         self,
         capacity: int,
         key_width: int,
+        *,
         block_size: int = 64,
         bus_width: int = 512,
         default_groups: int = 1,
@@ -79,7 +81,7 @@ class WideCamSession:
         self.num_lanes = -(-key_width // LANE_WIDTH)
         self._lane_widths = self._fragment_widths(key_width)
         self.lanes: List[CamSession] = [
-            CamSession(
+            open_session(
                 unit_for_entries(
                     capacity,
                     block_size=block_size,

@@ -61,6 +61,33 @@ class AuditError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Base class for sharded CAM service failures (:mod:`repro.service`)."""
+
+
+class ShardFailedError(ServiceError):
+    """A shard backend raised unexpectedly and has been poisoned.
+
+    The service isolates the failure: the poisoned shard keeps
+    answering miss-with-error while the remaining shards serve
+    normally. ``shard`` identifies the poisoned backend and
+    ``__cause__`` carries the original exception when available.
+    """
+
+    def __init__(self, shard: int, message: str) -> None:
+        super().__init__(f"shard {shard}: {message}")
+        self.shard = shard
+
+
+class RequestTimeoutError(ServiceError):
+    """A service request missed its deadline before dispatch completed."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The bounded admission queue is full and the service is in
+    reject-on-overflow mode (backpressure surfaced to the caller)."""
+
+
 class HdlGenError(ReproError):
     """Verilog generation failed (bad identifier, impossible template)."""
 

@@ -39,6 +39,7 @@ from repro.obs.manifest import (
 )
 from repro.obs.meta import git_sha, package_version, runtime_meta
 from repro.obs.metrics import (
+    BATCH_BUCKETS,
     CYCLE_BUCKETS,
     SECONDS_BUCKETS,
     Counter,
@@ -49,6 +50,7 @@ from repro.obs.metrics import (
 from repro.obs.tracing import NULL_SPAN, Tracer
 
 __all__ = [
+    "BATCH_BUCKETS",
     "CYCLE_BUCKETS",
     "Counter",
     "Gauge",

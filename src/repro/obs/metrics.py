@@ -33,6 +33,12 @@ SECONDS_BUCKETS: Tuple[float, ...] = (
     1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
 )
 
+#: Bucket upper edges for occupancy-style histograms (requests per
+#: micro-batch, items per queue drain): powers of two up to 1024.
+BATCH_BUCKETS: Tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024,
+)
+
 
 def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))

@@ -1,0 +1,74 @@
+"""repro.service: sharded CAM service layer with async micro-batching.
+
+Two layers over the single-unit sessions of :mod:`repro.core`:
+
+- :class:`ShardedCam` -- one logical CAM partitioned across N backend
+  sessions by a pluggable :class:`ShardPolicy`, merging per-shard
+  answers through a global address space so priority encoding is
+  preserved across shard boundaries (result-identical to one big
+  :class:`~repro.core.ReferenceCam`);
+- :class:`CamService` -- an asyncio front door that admits
+  lookup/insert/delete requests through a bounded queue, micro-batches
+  them per shard, and isolates backend failures to the shard that
+  raised them.
+
+Construct the sharded façade through :func:`repro.open_session` with
+``shards > 1``; see ``docs/service.md`` for the full tour::
+
+    import asyncio
+    import repro
+    from repro.core import unit_for_entries
+    from repro.service import CamService
+
+    cam = repro.open_session(unit_for_entries(512, block_size=64,
+                                              data_width=32),
+                             engine="batch", shards=4)
+
+    async def main():
+        async with CamService(cam, max_batch=32) as svc:
+            await svc.insert([7, 42, 99])
+            print((await svc.lookup(42)).result)
+
+    asyncio.run(main())
+"""
+
+from __future__ import annotations
+
+from repro.service.scheduler import CamService, ServiceResponse, ServiceStats
+from repro.service.sharded import ShardedCam, merge_results
+from repro.service.sharding import (
+    POLICIES,
+    HashShardPolicy,
+    RangeShardPolicy,
+    RoundRobinShardPolicy,
+    ShardPolicy,
+    policy_for,
+)
+from repro.service.workload import (
+    FaultyBackend,
+    WorkloadReport,
+    WorkloadSpec,
+    demo_cam,
+    drive_service,
+    run_demo_workload,
+)
+
+__all__ = [
+    "POLICIES",
+    "CamService",
+    "FaultyBackend",
+    "HashShardPolicy",
+    "RangeShardPolicy",
+    "RoundRobinShardPolicy",
+    "ServiceResponse",
+    "ServiceStats",
+    "ShardPolicy",
+    "ShardedCam",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "demo_cam",
+    "drive_service",
+    "merge_results",
+    "policy_for",
+    "run_demo_workload",
+]

@@ -1,0 +1,493 @@
+"""Sharded CAM façade: one logical CAM over N per-shard sessions.
+
+:class:`ShardedCam` scales the single-unit session horizontally, the
+way the banked CAM architectures in the related work scale past one
+unit's frequency droop: the key space is partitioned across ``shards``
+independent backend sessions (each a :func:`repro.core.open_session`
+engine -- batch by default, ``audit`` for per-shard shadow
+verification), and per-shard answers are merged back into one result.
+
+The merge preserves the paper's priority-encoding semantics across
+shard boundaries by translating every shard-local match bit onto a
+**global address space**: global address = global insertion index,
+exactly the numbering :class:`repro.core.ReferenceCam` uses. The
+merged ``match_vector`` is the OR of the translated per-shard vectors,
+so ``address`` (the lowest set bit) is the *globally* first-inserted
+match even when candidates live on different shards -- a sharded
+service is therefore result-identical to one big reference CAM.
+
+Failure isolation: a shard whose backend raises unexpectedly is
+*poisoned* -- recorded, counted, and fenced off. Subsequent operations
+touching it raise :class:`~repro.errors.ShardFailedError` immediately
+instead of corrupting state; the async service layer
+(:mod:`repro.service.scheduler`) catches that error per request and
+degrades to miss-with-error while healthy shards keep serving.
+
+Cycle accounting treats shards as parallel hardware banks: one
+logical operation costs the *maximum* of the per-shard cycle deltas,
+and :attr:`cycle` is the slowest shard's counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro import obs
+from repro.core.config import UnitConfig
+from repro.core.mask import CamEntry
+from repro.core.session import (
+    CamSession,
+    RawWord,
+    SearchStats,
+    UpdateStats,
+    publish_search_metrics,
+    publish_update_metrics,
+)
+from repro.core.types import CamType, SearchResult
+from repro.errors import (
+    CapacityError,
+    ConfigError,
+    MaskError,
+    RoutingError,
+    ShardFailedError,
+)
+from repro.fabric.resources import total as total_resources
+from repro.service.sharding import ShardPolicy, policy_for
+
+#: Exceptions that indicate a caller mistake, not a shard fault: they
+#: propagate unchanged and do not poison the shard.
+_CLIENT_ERRORS = (ConfigError, CapacityError, RoutingError, MaskError)
+
+
+def merge_results(
+    key: int,
+    partials: Sequence[SearchResult],
+    encoding=None,
+) -> SearchResult:
+    """Merge globally-mapped per-shard results for one key.
+
+    ORs the (already global) match vectors; the rebuilt result's
+    address is the lowest global address, i.e. the globally
+    first-inserted match -- priority encoding across shard boundaries.
+    """
+    vector = 0
+    for partial in partials:
+        vector |= partial.match_vector
+    if encoding is None:
+        encoding = partials[0].encoding if partials else None
+    if encoding is None:
+        return SearchResult.from_vector(key, vector)
+    return SearchResult.from_vector(key, vector, encoding)
+
+
+class ShardedCam:
+    """One logical CAM served by ``shards`` independent sessions.
+
+    Satisfies the blocking session protocol (``update`` / ``search`` /
+    ``search_one`` / ``contains`` / ``delete`` / ``reset`` / ``idle``
+    plus the capacity/occupancy/cycle properties), so callers written
+    against :class:`~repro.core.CamSession` work unchanged; construct
+    it through :func:`repro.open_session` with ``shards > 1``.
+
+    ``config`` describes **one shard's** unit; total capacity is
+    ``shards`` times the per-shard capacity. Pinned policies (hash,
+    range) require a binary CAM -- the routing function must agree for
+    stored words and search keys -- while the broadcast round-robin
+    policy accepts any CAM type.
+    """
+
+    def __init__(
+        self,
+        config: UnitConfig,
+        *,
+        shards: int,
+        policy: Union[str, ShardPolicy] = "hash",
+        engine: str = "batch",
+        name: str = "sharded_cam",
+        session_factory=None,
+        **session_kwargs,
+    ) -> None:
+        if shards < 1:
+            raise ConfigError(f"shards must be >= 1, got {shards}")
+        self.config = config
+        self.name = name
+        self.policy = policy_for(policy, shards, config.data_width)
+        if (not self.policy.broadcast_lookups
+                and config.block.cell.cam_type is not CamType.BINARY):
+            raise ConfigError(
+                f"shard policy {self.policy.name!r} pins lookups by exact "
+                "key and needs a binary CAM; use the broadcast "
+                "'round_robin' policy for ternary/range configurations"
+            )
+        self.engine = engine
+        if session_factory is None:
+            from repro.core.batch import open_session
+
+            def session_factory(index: int, cfg: UnitConfig) -> CamSession:
+                return open_session(cfg, engine=engine,
+                                    name=f"{name}.shard{index}",
+                                    **session_kwargs)
+
+        self.sessions: Tuple[CamSession, ...] = tuple(
+            session_factory(index, config) for index in range(shards)
+        )
+        #: shard -> (local address -> global address), in local fill order.
+        self._global_addrs: List[List[int]] = [[] for _ in range(shards)]
+        self._global_count = 0
+        self._poisoned: Dict[int, str] = {}
+        self.last_update_stats: Optional[UpdateStats] = None
+        self.last_search_stats: Optional[SearchStats] = None
+
+    # ------------------------------------------------------------------
+    # structure / session-protocol properties
+    # ------------------------------------------------------------------
+    @property
+    def engine_name(self) -> str:
+        return f"sharded[{self.num_shards}x{self.engine}]"
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def capacity(self) -> int:
+        """Aggregate entries across every shard."""
+        return sum(session.capacity for session in self.sessions)
+
+    @property
+    def occupancy(self) -> int:
+        """Stored words (including delete holes) across every shard."""
+        return sum(session.occupancy for session in self.sessions)
+
+    @property
+    def cycle(self) -> int:
+        """Slowest shard's cycle counter (shards run in parallel)."""
+        return max(session.cycle for session in self.sessions)
+
+    @property
+    def num_groups(self) -> int:
+        return self.sessions[0].num_groups
+
+    @property
+    def search_latency(self) -> int:
+        return self.sessions[0].search_latency
+
+    @property
+    def update_latency(self) -> int:
+        return self.sessions[0].update_latency
+
+    @property
+    def words_per_beat(self) -> int:
+        return self.sessions[0].words_per_beat
+
+    @property
+    def trace(self):
+        return None
+
+    @property
+    def poisoned_shards(self) -> Tuple[int, ...]:
+        """Shards fenced off after an unexpected backend failure."""
+        return tuple(sorted(self._poisoned))
+
+    def shard_healthy(self, shard: int) -> bool:
+        return shard not in self._poisoned
+
+    def resources(self):
+        """Aggregate resource vector (N times one shard's unit)."""
+        return total_resources(s.resources() for s in self.sessions)
+
+    # ------------------------------------------------------------------
+    # fault fencing
+    # ------------------------------------------------------------------
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.num_shards:
+            raise RoutingError(
+                f"{self.name}: shard {shard} out of range "
+                f"(0..{self.num_shards - 1})"
+            )
+        if shard in self._poisoned:
+            raise ShardFailedError(shard, self._poisoned[shard])
+
+    def _poison(self, shard: int, exc: BaseException) -> "ShardFailedError":
+        detail = f"{type(exc).__name__}: {exc}"
+        self._poisoned[shard] = detail
+        obs.inc("svc_shard_failures_total",
+                help="shard backends poisoned after unexpected errors",
+                shard=shard)
+        obs.set_gauge("svc_shards_healthy",
+                      self.num_shards - len(self._poisoned),
+                      help="shards currently serving")
+        error = ShardFailedError(shard, detail)
+        error.__cause__ = exc
+        return error
+
+    # ------------------------------------------------------------------
+    # routing helpers
+    # ------------------------------------------------------------------
+    def _route_value(self, word: RawWord) -> int:
+        if isinstance(word, CamEntry):
+            return self.policy.mask_key(word.value)
+        return self.policy.mask_key(int(word))
+
+    def _assign_addresses(self, shard: int, addresses: Sequence[int]) -> None:
+        self._global_addrs[shard].extend(addresses)
+
+    def _map_vector(self, shard: int, local_vector: int) -> int:
+        """Translate a shard-local match vector onto global addresses."""
+        table = self._global_addrs[shard]
+        mapped = 0
+        vector = local_vector
+        while vector:
+            low = vector & -vector
+            mapped |= 1 << table[low.bit_length() - 1]
+            vector ^= low
+        return mapped
+
+    def _globalize(self, shard: int, result: SearchResult) -> SearchResult:
+        return SearchResult.from_vector(
+            result.key, self._map_vector(shard, result.match_vector),
+            result.encoding,
+        )
+
+    # ------------------------------------------------------------------
+    # shard-level primitives (the async scheduler dispatches these)
+    # ------------------------------------------------------------------
+    def update_shard(
+        self,
+        shard: int,
+        words: Sequence[RawWord],
+        addresses: Optional[Sequence[int]] = None,
+    ) -> UpdateStats:
+        """Store ``words`` on one shard, binding them to global
+        addresses (freshly allocated unless ``addresses`` preassigns
+        them, which the batched front door uses to keep interleaved
+        input order)."""
+        words = list(words)
+        self._check_shard(shard)
+        if addresses is None:
+            addresses = range(self._global_count, self._global_count + len(words))
+            self._global_count += len(words)
+        session = self.sessions[shard]
+        before = session.occupancy
+        with obs.span("svc.shard.update", shard=shard, words=len(words)):
+            try:
+                stats = session.update(words)
+            except _CLIENT_ERRORS:
+                # The batch engine lands the beats that fit before the
+                # overflowing beat raises; keep the address map in sync
+                # with what actually landed.
+                landed = session.occupancy - before
+                self._assign_addresses(shard, list(addresses)[:landed])
+                raise
+            except Exception as exc:
+                raise self._poison(shard, exc) from exc
+        self._assign_addresses(shard, addresses)
+        obs.inc("svc_shard_ops_total", help="operations executed per shard",
+                shard=shard, op="update")
+        return stats
+
+    def search_shard(
+        self, shard: int, keys: Sequence[int]
+    ) -> List[SearchResult]:
+        """Search ``keys`` on one shard; vectors come back globally
+        mapped (for pinned policies this is already the final answer)."""
+        self._check_shard(shard)
+        session = self.sessions[shard]
+        with obs.span("svc.shard.search", shard=shard, keys=len(keys)):
+            try:
+                results = session.search(keys)
+            except _CLIENT_ERRORS:
+                raise
+            except Exception as exc:
+                raise self._poison(shard, exc) from exc
+        obs.inc("svc_shard_ops_total", shard=shard, op="search")
+        return [self._globalize(shard, result) for result in results]
+
+    def delete_shard(self, shard: int, key: int) -> SearchResult:
+        """Delete-by-content on one shard; returns the globally-mapped
+        view of what was invalidated."""
+        self._check_shard(shard)
+        session = self.sessions[shard]
+        with obs.span("svc.shard.delete", shard=shard):
+            try:
+                result = session.delete(key)
+            except _CLIENT_ERRORS:
+                raise
+            except Exception as exc:
+                raise self._poison(shard, exc) from exc
+        obs.inc("svc_shard_ops_total", shard=shard, op="delete")
+        return self._globalize(shard, result)
+
+    def partition_update(
+        self, words: Sequence[RawWord]
+    ) -> Dict[int, Tuple[List[RawWord], List[int]]]:
+        """Route an update across shards, binding each word to a global
+        address in **input order** (the reference model's insertion
+        numbering). Returns ``{shard: (words, addresses)}``; pass each
+        entry to :meth:`update_shard`. Every word consumes its global
+        index at partition time, so addressing stays deterministic even
+        if a later per-shard dispatch fails or never runs."""
+        words = list(words)
+        if not words:
+            raise ConfigError("update needs at least one word")
+        if self.occupancy + len(words) > self.capacity:
+            raise CapacityError(
+                f"{self.name}: {len(words)} words exceed aggregate capacity "
+                f"({self.occupancy}/{self.capacity} used)"
+            )
+        base = self._global_count
+        parts: Dict[int, Tuple[List[RawWord], List[int]]] = {}
+        for offset, word in enumerate(words):
+            shard = self.policy.shard_for_insert(
+                self._route_value(word), base + offset
+            )
+            entry = parts.setdefault(shard, ([], []))
+            entry[0].append(word)
+            entry[1].append(base + offset)
+        self._global_count = base + len(words)
+        return parts
+
+    def shards_for_key(self, key: int) -> List[int]:
+        """Shards that must answer a lookup for ``key``."""
+        pinned = self.policy.shard_for_key(key)
+        if pinned is None:
+            return list(range(self.num_shards))
+        return [pinned]
+
+    # ------------------------------------------------------------------
+    # session protocol (blocking front door)
+    # ------------------------------------------------------------------
+    def update(
+        self, words: Sequence[RawWord], group: Optional[int] = None
+    ) -> UpdateStats:
+        """Partition ``words`` across shards and store them.
+
+        Global addresses follow the input order (exactly the reference
+        model's insertion numbering) even when consecutive words land
+        on different shards.
+        """
+        if group is not None:
+            raise RoutingError(
+                f"{self.name}: the sharded service routes storage itself; "
+                "per-call group targeting is not supported"
+            )
+        words = list(words)
+        parts = self.partition_update(words)
+        with obs.span("svc.update", engine=self.engine_name,
+                      words=len(words)):
+            before = [s.cycle for s in self.sessions]
+            beats = 0
+            for shard in sorted(parts):
+                shard_words, shard_addresses = parts[shard]
+                stats = self.update_shard(shard, shard_words,
+                                          addresses=shard_addresses)
+                beats = max(beats, stats.beats)
+            cycles = max(
+                s.cycle - b for s, b in zip(self.sessions, before)
+            )
+            stats = UpdateStats(words=len(words), beats=beats, cycles=cycles)
+        self.last_update_stats = stats
+        if obs.enabled():
+            publish_update_metrics(self, stats)
+        return stats
+
+    def search(
+        self,
+        keys: Sequence[int],
+        groups: Optional[Sequence[int]] = None,
+    ) -> List[SearchResult]:
+        """Search ``keys``; answers merged across shards by global
+        priority. Pinned policies touch one shard per key; broadcast
+        policies fan every key to every shard."""
+        if groups is not None:
+            raise RoutingError(
+                f"{self.name}: the sharded service routes queries itself; "
+                "per-call group pinning is not supported"
+            )
+        keys = [int(key) for key in keys]
+        if not keys:
+            raise ConfigError("search needs at least one key")
+        with obs.span("svc.search", engine=self.engine_name, keys=len(keys)):
+            before = [s.cycle for s in self.sessions]
+            results: List[Optional[SearchResult]] = [None] * len(keys)
+            beats = 0
+            if self.policy.broadcast_lookups:
+                partials: List[List[SearchResult]] = []
+                for shard in range(self.num_shards):
+                    partials.append(self.search_shard(shard, keys))
+                    beats = max(
+                        beats, self.sessions[shard].last_search_stats.beats
+                    )
+                for index, key in enumerate(keys):
+                    results[index] = merge_results(
+                        key, [per_shard[index] for per_shard in partials]
+                    )
+            else:
+                routed: Dict[int, List[int]] = {}
+                for index, key in enumerate(keys):
+                    shard = self.policy.shard_for_key(key)
+                    routed.setdefault(shard, []).append(index)
+                for shard in sorted(routed):
+                    picks = routed[shard]
+                    answers = self.search_shard(
+                        shard, [keys[index] for index in picks]
+                    )
+                    beats = max(
+                        beats, self.sessions[shard].last_search_stats.beats
+                    )
+                    for index, answer in zip(picks, answers):
+                        results[index] = answer
+            cycles = max(
+                s.cycle - b for s, b in zip(self.sessions, before)
+            )
+            stats = SearchStats(keys=len(keys), beats=beats, cycles=cycles)
+        self.last_search_stats = stats
+        if obs.enabled():
+            publish_search_metrics(
+                self, stats,
+                hits=sum(1 for r in results if r is not None and r.hit),
+            )
+        return results  # type: ignore[return-value]
+
+    def search_one(self, key: int, group: Optional[int] = None) -> SearchResult:
+        if group is not None:
+            raise RoutingError(
+                f"{self.name}: per-call group pinning is not supported"
+            )
+        return self.search([key])[0]
+
+    def contains(self, key: int) -> bool:
+        return self.search_one(key).hit
+
+    def delete(self, key: int) -> SearchResult:
+        """Delete-by-content everywhere ``key`` may live."""
+        with obs.span("svc.delete", engine=self.engine_name):
+            partials = [
+                self.delete_shard(shard, key)
+                for shard in self.shards_for_key(key)
+            ]
+        return merge_results(int(key), partials)
+
+    # ------------------------------------------------------------------
+    def set_groups(self, num_groups: int) -> None:
+        """Regroup every shard (flushes all content, like the unit)."""
+        with obs.span("svc.set_groups", engine=self.engine_name,
+                      groups=num_groups):
+            for session in self.sessions:
+                session.set_groups(num_groups)
+        self._flush_addressing()
+
+    def reset(self) -> None:
+        """Clear every shard and restart the global address space."""
+        with obs.span("svc.reset", engine=self.engine_name):
+            for session in self.sessions:
+                session.reset()
+        self._flush_addressing()
+
+    def _flush_addressing(self) -> None:
+        self._global_addrs = [[] for _ in range(self.num_shards)]
+        self._global_count = 0
+
+    def idle(self, cycles: int = 1) -> None:
+        for session in self.sessions:
+            session.idle(cycles)

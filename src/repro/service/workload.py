@@ -1,0 +1,280 @@
+"""Synthetic traffic driver for the sharded CAM service.
+
+Powers ``python -m repro serve-demo``, the CI service-smoke job and the
+shard-scaling benchmark: a reproducible mixed lookup/insert/delete
+workload executed by concurrent client tasks against a
+:class:`~repro.service.scheduler.CamService`, summarised into a
+:class:`WorkloadReport` (outcome counts, latency percentiles,
+throughput, per-shard health).
+
+Also home to :class:`FaultyBackend`, the fault-injection session proxy
+the failure-isolation demo and tests use to poison one shard mid-run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import UnitConfig, unit_for_entries
+from repro.core.types import CamType
+from repro.errors import ConfigError, SimulationError
+from repro.service.scheduler import CamService, ServiceResponse
+from repro.service.sharded import ShardedCam
+
+
+class FaultyBackend:
+    """Session proxy that fails permanently after ``fail_after`` ops.
+
+    Wraps a real session and forwards everything; once the programmed
+    operation count is reached every further transaction raises
+    :class:`SimulationError`, which the sharded layer treats as a
+    backend fault and answers by poisoning the shard.
+    """
+
+    def __init__(self, session, fail_after: int) -> None:
+        self._session = session
+        self._fail_after = fail_after
+        self._ops = 0
+
+    def _tick(self) -> None:
+        self._ops += 1
+        if self._ops > self._fail_after:
+            raise SimulationError(
+                f"injected backend fault after {self._fail_after} ops"
+            )
+
+    def update(self, words, group=None):
+        self._tick()
+        return self._session.update(words, group=group)
+
+    def search(self, keys, groups=None):
+        self._tick()
+        return self._session.search(keys, groups=groups)
+
+    def delete(self, key):
+        self._tick()
+        return self._session.delete(key)
+
+    def __getattr__(self, name):
+        return getattr(self._session, name)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Shape of one synthetic run (all knobs CLI-settable)."""
+
+    requests: int = 2000
+    clients: int = 8
+    lookup_fraction: float = 0.75
+    delete_fraction: float = 0.05
+    insert_batch_max: int = 8
+    hot_fraction: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigError(f"requests must be >= 1, got {self.requests}")
+        if self.clients < 1:
+            raise ConfigError(f"clients must be >= 1, got {self.clients}")
+        if not 0 <= self.lookup_fraction + self.delete_fraction <= 1:
+            raise ConfigError("lookup+delete fractions must be within [0, 1]")
+
+
+@dataclass
+class WorkloadReport:
+    """Outcome summary of one synthetic service run."""
+
+    requests: int = 0
+    lookups: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    hits: int = 0
+    ok: int = 0
+    timeouts: int = 0
+    shard_failures: int = 0
+    client_errors: int = 0
+    rejected: int = 0
+    words_stored: int = 0
+    wall_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list)
+    shards: int = 0
+    poisoned_shards: List[int] = field(default_factory=list)
+    max_queue_depth: int = 0
+    mean_batch_occupancy: float = 0.0
+    simulated_cycles: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def render(self) -> str:
+        lines = [
+            f"requests          : {self.requests} "
+            f"({self.lookups} lookups, {self.inserts} inserts, "
+            f"{self.deletes} deletes)",
+            f"outcomes          : {self.ok} ok, {self.timeouts} timeout, "
+            f"{self.shard_failures} shard_failed, "
+            f"{self.client_errors} error, {self.rejected} rejected",
+            f"hit rate          : "
+            f"{self.hits / self.lookups:.3f}" if self.lookups else
+            "hit rate          : n/a",
+            f"stored words      : {self.words_stored}",
+            f"wall time         : {self.wall_s:.3f} s "
+            f"({self.throughput_rps:,.0f} req/s)",
+            f"latency p50/p95/p99: {self.latency_percentile(0.50) * 1e3:.2f} / "
+            f"{self.latency_percentile(0.95) * 1e3:.2f} / "
+            f"{self.latency_percentile(0.99) * 1e3:.2f} ms",
+            f"batching          : mean occupancy "
+            f"{self.mean_batch_occupancy:.1f} req/flush, "
+            f"max queue depth {self.max_queue_depth}",
+            f"shards            : {self.shards} total, "
+            f"poisoned {self.poisoned_shards or 'none'}",
+            f"simulated cycles  : {self.simulated_cycles}",
+        ]
+        return "\n".join(lines)
+
+
+def demo_cam(
+    *,
+    entries_per_shard: int = 512,
+    shards: int = 4,
+    block_size: int = 64,
+    data_width: int = 32,
+    engine: str = "batch",
+    policy: str = "hash",
+    poison_shard: Optional[int] = None,
+    poison_after: int = 50,
+    **session_kwargs,
+) -> ShardedCam:
+    """Build the demo service's backing :class:`ShardedCam`.
+
+    ``poison_shard`` wraps that shard in a :class:`FaultyBackend` that
+    blows up after ``poison_after`` operations -- the failure-isolation
+    demonstration.
+    """
+    config = unit_for_entries(
+        entries_per_shard,
+        block_size=min(block_size, entries_per_shard),
+        data_width=data_width,
+        bus_width=512,
+        cam_type=CamType.BINARY,
+        default_groups=1,
+    )
+    factory = None
+    if poison_shard is not None:
+        from repro.core.batch import open_session
+
+        def factory(index: int, cfg: UnitConfig):
+            session = open_session(cfg, engine=engine,
+                                   name=f"svc.shard{index}",
+                                   **session_kwargs)
+            if index == poison_shard:
+                return FaultyBackend(session, poison_after)
+            return session
+
+    return ShardedCam(config, shards=shards, policy=policy, engine=engine,
+                      name="svc", session_factory=factory, **session_kwargs)
+
+
+async def drive_service(service: CamService,
+                        spec: WorkloadSpec) -> WorkloadReport:
+    """Run the synthetic workload against a started service."""
+    cam = service.cam
+    width = cam.config.data_width
+    key_space = min(1 << width, 1 << 20)
+    hot_keys = max(1, int(key_space * 0.001))
+    capacity_budget = int(cam.capacity * 0.6)
+    report = WorkloadReport(shards=cam.num_shards)
+    stored_words = 0
+    lock = asyncio.Lock()
+
+    def account(response: ServiceResponse) -> None:
+        report.latencies_s.append(response.latency_s)
+        if response.status == "ok":
+            report.ok += 1
+        elif response.status == "timeout":
+            report.timeouts += 1
+        elif response.status == "shard_failed":
+            report.shard_failures += 1
+        else:
+            report.client_errors += 1
+
+    async def client(client_id: int, operations: int) -> None:
+        nonlocal stored_words
+        rng = np.random.default_rng(spec.seed * 7919 + client_id)
+
+        def draw_key() -> int:
+            if rng.random() < spec.hot_fraction:
+                return int(rng.integers(0, hot_keys))
+            return int(rng.integers(0, key_space))
+
+        for _ in range(operations):
+            roll = rng.random()
+            if roll < spec.lookup_fraction or stored_words >= capacity_budget:
+                response = await service.lookup(draw_key())
+                report.lookups += 1
+                if response.ok and response.result.hit:
+                    report.hits += 1
+            elif roll < spec.lookup_fraction + spec.delete_fraction:
+                response = await service.delete(draw_key())
+                report.deletes += 1
+            else:
+                count = int(rng.integers(1, spec.insert_batch_max + 1))
+                words = [draw_key() for _ in range(count)]
+                async with lock:
+                    stored_words += count
+                response = await service.insert(words)
+                report.inserts += 1
+                if response.ok:
+                    report.words_stored += response.stats.words
+            account(response)
+            report.requests += 1
+
+    per_client = max(1, spec.requests // spec.clients)
+    started = time.perf_counter()
+    await asyncio.gather(*[
+        client(index, per_client) for index in range(spec.clients)
+    ])
+    report.wall_s = time.perf_counter() - started
+    report.poisoned_shards = list(cam.poisoned_shards)
+    report.max_queue_depth = service.stats.max_queue_depth
+    report.mean_batch_occupancy = service.stats.mean_batch_occupancy
+    report.simulated_cycles = cam.cycle
+    return report
+
+
+def run_demo_workload(
+    cam: ShardedCam,
+    spec: Optional[WorkloadSpec] = None,
+    *,
+    max_batch: int = 64,
+    max_delay_s: float = 0.002,
+    queue_depth: int = 1024,
+    request_timeout_s: float = 5.0,
+) -> WorkloadReport:
+    """Blocking entry point: start a service, drive it, report."""
+    spec = spec or WorkloadSpec()
+
+    async def _run() -> WorkloadReport:
+        async with CamService(
+            cam,
+            max_batch=max_batch,
+            max_delay_s=max_delay_s,
+            queue_depth=queue_depth,
+            request_timeout_s=request_timeout_s,
+        ) as service:
+            return await drive_service(service, spec)
+
+    return asyncio.run(_run())

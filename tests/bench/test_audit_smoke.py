@@ -18,14 +18,14 @@ from dataclasses import replace
 
 import pytest
 
-from repro.core import CamSession, CamType, WideCamSession, unit_for_entries
+from repro.core import CamType, WideCamSession, open_session, unit_for_entries
 
 SEED = 20250806
 
 
 def _audit_session(config, audit_sample):
-    return CamSession(config, engine="audit", audit_sample=audit_sample,
-                      audit_seed=SEED, strict=True)
+    return open_session(config, engine="audit", audit_sample=audit_sample,
+                        audit_seed=SEED, strict=True)
 
 
 def _small_config(**overrides):

@@ -208,12 +208,12 @@ def test_independent_mode_routing_errors_match():
 # ----------------------------------------------------------------------
 # engine dispatch and error parity
 # ----------------------------------------------------------------------
-def test_engine_dispatch_through_camsession(small_unit_config):
-    assert type(CamSession(small_unit_config)) is CamSession
-    batch = CamSession(small_unit_config, engine="batch")
+def test_engine_dispatch_through_open_session(small_unit_config):
+    assert type(open_session(small_unit_config)) is CamSession
+    batch = open_session(small_unit_config, engine="batch")
     assert isinstance(batch, BatchSession)
     assert isinstance(batch, CamSession)
-    audit = CamSession(small_unit_config, engine="audit")
+    audit = open_session(small_unit_config, engine="audit")
     assert isinstance(audit, AuditSession)
     assert (CamSession.engine_name, batch.engine_name, audit.engine_name) \
         == ("cycle", "batch", "audit")
@@ -221,7 +221,7 @@ def test_engine_dispatch_through_camsession(small_unit_config):
 
 def test_engine_dispatch_rejects_unknown(small_unit_config):
     with pytest.raises(ConfigError):
-        CamSession(small_unit_config, engine="warp")
+        open_session(small_unit_config, engine="warp")
     with pytest.raises(ConfigError):
         session_class_for("warp")
 
@@ -235,7 +235,7 @@ def test_open_session_forwards_kwargs(small_unit_config):
 
 def test_batch_rejects_tracing(small_unit_config):
     with pytest.raises(ConfigError):
-        CamSession(small_unit_config, engine="batch", trace=True)
+        open_session(small_unit_config, engine="batch", trace=True)
 
 
 def test_capacity_error_parity(small_unit_config):
@@ -266,8 +266,8 @@ def test_structural_properties_match(small_unit_config):
 # the audit engine actually audits
 # ----------------------------------------------------------------------
 def test_audit_engine_passes_clean_run(small_unit_config):
-    session = CamSession(small_unit_config, engine="audit",
-                         audit_sample=1.0)
+    session = open_session(small_unit_config, engine="audit",
+                           audit_sample=1.0)
     session.update([10, 20, 30])
     assert session.search_one(20).hit
     session.delete(10)
@@ -281,8 +281,8 @@ def test_audit_engine_passes_clean_run(small_unit_config):
 
 
 def test_audit_engine_detects_corruption(small_unit_config):
-    session = CamSession(small_unit_config, engine="audit",
-                         audit_sample=1.0)
+    session = open_session(small_unit_config, engine="audit",
+                           audit_sample=1.0)
     session.update([10, 20, 30])
     # Corrupt the fast path's store behind the audit's back: the next
     # audited search must diverge from the cycle-accurate shadow.
@@ -293,8 +293,8 @@ def test_audit_engine_detects_corruption(small_unit_config):
 
 
 def test_audit_engine_nonstrict_records_divergence(small_unit_config):
-    session = CamSession(small_unit_config, engine="audit",
-                         audit_sample=1.0, strict=False)
+    session = open_session(small_unit_config, engine="audit",
+                           audit_sample=1.0, strict=False)
     session.update([10, 20, 30])
     session._stores[0].values[1] ^= 1
     session.search_one(20)  # must not raise
@@ -304,8 +304,8 @@ def test_audit_engine_nonstrict_records_divergence(small_unit_config):
 
 
 def test_audit_sampling_skips_unaudited_episodes(small_unit_config):
-    session = CamSession(small_unit_config, engine="audit",
-                         audit_sample=0.0)
+    session = open_session(small_unit_config, engine="audit",
+                           audit_sample=0.0)
     session.update([1, 2, 3])
     session.search_one(2)
     session.reset()
@@ -318,4 +318,4 @@ def test_audit_sampling_skips_unaudited_episodes(small_unit_config):
 
 def test_audit_sample_validation(small_unit_config):
     with pytest.raises(ConfigError):
-        CamSession(small_unit_config, engine="audit", audit_sample=1.5)
+        open_session(small_unit_config, engine="audit", audit_sample=1.5)

@@ -1,0 +1,96 @@
+"""The unified constructor (`repro.open_session`) and the deprecation
+shim left behind on ``CamSession`` engine dispatch."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.core import CamSession, unit_for_entries
+from repro.core.batch import AuditSession, BatchSession, open_session
+from repro.errors import ConfigError
+from repro.service.sharded import ShardedCam
+
+
+@pytest.fixture
+def config():
+    return unit_for_entries(64, block_size=16, data_width=16, bus_width=128)
+
+
+# ----------------------------------------------------------------------
+# open_session dispatch
+# ----------------------------------------------------------------------
+def test_top_level_reexport_is_the_same_function():
+    assert repro.open_session is open_session
+    assert "open_session" in repro.__all__
+
+
+@pytest.mark.parametrize("engine,cls", [
+    ("cycle", CamSession),
+    ("batch", BatchSession),
+    ("audit", AuditSession),
+])
+def test_engine_selects_session_class(config, engine, cls):
+    session = open_session(config, engine=engine)
+    assert type(session) is cls
+
+
+def test_unknown_engine_rejected(config):
+    with pytest.raises(ConfigError):
+        open_session(config, engine="warp")
+
+
+def test_session_kwargs_forwarded(config):
+    session = open_session(config, engine="batch", name="front_door")
+    assert session.name == "front_door"
+
+
+# ----------------------------------------------------------------------
+# sharded construction through the same front door
+# ----------------------------------------------------------------------
+def test_shards_gt_one_returns_sharded_cam(config):
+    cam = open_session(config, engine="batch", shards=4, policy="hash")
+    assert isinstance(cam, ShardedCam)
+    assert cam.num_shards == 4
+    # satisfies the session protocol end to end
+    cam.update([7, 9])
+    assert cam.search_one(7).hit
+    assert cam.search_one(7).address == 0
+    assert cam.delete(9).hit
+    assert not cam.contains(9)
+
+
+def test_shards_one_stays_unsharded(config):
+    assert type(open_session(config, shards=1)) is CamSession
+
+
+def test_invalid_shard_count_rejected(config):
+    with pytest.raises(ConfigError):
+        open_session(config, shards=0)
+
+
+# ----------------------------------------------------------------------
+# CamSession engine-dispatch deprecation shim
+# ----------------------------------------------------------------------
+def test_keyword_engine_dispatch_warns_and_still_works(config):
+    with pytest.warns(DeprecationWarning, match="open_session"):
+        session = CamSession(config, engine="batch")
+    assert type(session) is BatchSession
+
+
+def test_positional_engine_dispatch_warns_and_still_works(config):
+    # the latent bug: engine passed positionally used to be silently
+    # ignored and a cycle session returned
+    with pytest.warns(DeprecationWarning, match="open_session"):
+        session = CamSession(config, False, "legacy", "batch")
+    assert type(session) is BatchSession
+    assert session.name == "legacy"
+
+
+def test_plain_construction_does_not_warn(config):
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        session = CamSession(config)
+        assert type(session) is CamSession
+        explicit = CamSession(config, engine="cycle")
+        assert type(explicit) is CamSession

@@ -3,13 +3,13 @@
 import pytest
 
 from repro import obs
-from repro.core import CamSession, unit_for_entries
+from repro.core import open_session, unit_for_entries
 from repro.core.stats import collect_stats, publish_stats
 
 
 @pytest.fixture(params=["cycle", "batch"])
 def session(request):
-    return CamSession(
+    return open_session(
         unit_for_entries(128, block_size=32, data_width=32,
                          default_groups=2),
         engine=request.param,
@@ -110,7 +110,7 @@ def test_tc_intersection_kernel_reports():
 
 def test_audit_engine_reports_audit_counters():
     obs.enable(tracing=False)
-    session = CamSession(
+    session = open_session(
         unit_for_entries(64, block_size=16, data_width=16),
         engine="audit", audit_sample=1.0, audit_seed=0,
     )

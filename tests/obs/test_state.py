@@ -5,7 +5,7 @@ import time
 import pytest
 
 from repro import obs
-from repro.core import CamSession, unit_for_entries
+from repro.core import open_session, unit_for_entries
 from repro.errors import ObsError
 
 
@@ -72,7 +72,7 @@ def test_enable_rejects_bad_sample():
         obs.enable(tracing=True, sample=2.0)
 
 
-def _workload(session: CamSession) -> None:
+def _workload(session) -> None:
     words = list(range(200, 328))
     session.update(words)
     session.search(words[:64] + [10**6])
@@ -80,7 +80,7 @@ def _workload(session: CamSession) -> None:
 
 
 def test_disabled_mode_records_nothing_through_real_sessions():
-    session = CamSession(
+    session = open_session(
         unit_for_entries(256, block_size=64, data_width=32),
         engine="batch",
     )
@@ -101,7 +101,7 @@ def test_disabled_mode_overhead_under_five_percent():
     config = unit_for_entries(512, block_size=128, data_width=32)
 
     def run_real() -> float:
-        session = CamSession(config, engine="batch")
+        session = open_session(config, engine="batch")
         start = time.perf_counter()
         for _ in range(8):
             _workload(session)
@@ -111,7 +111,7 @@ def test_disabled_mode_overhead_under_five_percent():
     null_span = obs.NULL_SPAN
 
     def run_stubbed(monkey) -> float:
-        session = CamSession(config, engine="batch")
+        session = open_session(config, engine="batch")
         start = time.perf_counter()
         for _ in range(8):
             _workload(session)

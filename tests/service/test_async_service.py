@@ -1,0 +1,325 @@
+"""CamService: micro-batching, backpressure, timeouts, degradation.
+
+No pytest-asyncio in the toolchain: every scenario is a coroutine run
+to completion with ``asyncio.run`` inside a plain sync test.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core import unit_for_entries
+from repro.core.batch import open_session
+from repro.errors import ConfigError, ServiceError, ServiceOverloadError
+from repro.service import (
+    CamService,
+    FaultyBackend,
+    ShardedCam,
+    WorkloadSpec,
+    demo_cam,
+    drive_service,
+)
+
+WIDTH = 16
+
+
+def make_cam(shards=4, policy="hash", entries=32):
+    config = unit_for_entries(entries, block_size=16, data_width=WIDTH,
+                              bus_width=128)
+    return ShardedCam(config, shards=shards, policy=policy, engine="batch")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ----------------------------------------------------------------------
+# configuration and lifecycle
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kwargs", [
+    {"max_batch": 0},
+    {"max_delay_s": -1},
+    {"queue_depth": 0},
+    {"request_timeout_s": 0},
+    {"overflow": "panic"},
+])
+def test_rejects_bad_parameters(kwargs):
+    with pytest.raises(ConfigError):
+        CamService(make_cam(shards=1), **kwargs)
+
+
+def test_requests_require_running_service():
+    service = CamService(make_cam(shards=1))
+
+    async def scenario():
+        with pytest.raises(ServiceError):
+            await service.lookup(1)
+
+    run(scenario())
+
+
+def test_double_start_rejected():
+    async def scenario():
+        async with CamService(make_cam(shards=1)) as service:
+            with pytest.raises(ServiceError):
+                await service.start()
+
+    run(scenario())
+
+
+def test_stop_drains_in_flight_requests():
+    async def scenario():
+        service = CamService(make_cam(shards=2), max_delay_s=0.05,
+                             max_batch=64)
+        await service.start()
+        inserted = asyncio.ensure_future(service.insert([1, 2, 3, 4]))
+        await asyncio.sleep(0)  # admitted, probably not yet flushed
+        await service.stop()
+        response = await inserted
+        assert response.ok and response.stats.words == 4
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# request semantics
+# ----------------------------------------------------------------------
+def test_basic_lookup_insert_delete_cycle():
+    async def scenario():
+        async with CamService(make_cam()) as service:
+            miss = await service.lookup(42)
+            assert miss.ok and not miss.result.hit
+            ins = await service.insert([42, 7, 42])
+            assert ins.ok and ins.stats.words == 3
+            assert ins.shards  # routed somewhere real
+            hit = await service.lookup(42)
+            assert hit.ok and hit.result.hit and hit.result.address == 0
+            dele = await service.delete(42)
+            assert dele.ok and dele.result.hit
+            assert not (await service.lookup(42)).result.hit
+            assert (await service.lookup(7)).result.hit
+
+    run(scenario())
+
+
+def test_concurrent_lookups_are_batched():
+    async def scenario():
+        cam = make_cam(shards=2)
+        async with CamService(cam, max_batch=64, max_delay_s=0.02) as svc:
+            await svc.insert(list(range(32)))
+            responses = await asyncio.gather(
+                *[svc.lookup(k) for k in range(32)]
+            )
+            assert all(r.ok and r.result.hit for r in responses)
+        # far fewer flushes than requests proves coalescing happened
+        assert svc.stats.dispatches < svc.stats.dispatched_requests
+        assert svc.stats.mean_batch_occupancy > 1.0
+
+    run(scenario())
+
+
+def test_insert_is_split_and_merged_across_shards():
+    async def scenario():
+        cam = make_cam(shards=4)
+        async with CamService(cam) as service:
+            response = await service.insert(list(range(16)))
+            assert response.ok
+            assert response.stats.words == 16
+            assert len(response.shards) > 1  # hash spread the batch
+
+    run(scenario())
+
+
+def test_broadcast_policy_merges_cross_shard_tie():
+    async def scenario():
+        cam = make_cam(shards=4, policy="round_robin")
+        async with CamService(cam) as service:
+            await service.insert([9, 1, 9, 2, 9])  # 9 on shards 0, 2, 0
+            response = await service.lookup(9)
+            assert response.ok
+            assert response.result.address == 0  # globally first copy
+            assert bin(response.result.match_vector).count("1") == 3
+            assert len(response.shards) == 4  # every shard was asked
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# backpressure
+# ----------------------------------------------------------------------
+def test_reject_mode_raises_overload():
+    async def scenario():
+        service = CamService(make_cam(shards=1), queue_depth=2,
+                             overflow="reject", max_delay_s=0.0)
+        async with service:
+            # 40 clients admit in one scheduling burst before the router
+            # task gets a turn: only queue_depth fit, the rest must fail
+            # fast with ServiceOverloadError.
+            results = await asyncio.gather(
+                *[service.lookup(key) for key in range(40)],
+                return_exceptions=True,
+            )
+        overloaded = [r for r in results
+                      if isinstance(r, ServiceOverloadError)]
+        served = [r for r in results if not isinstance(r, Exception)]
+        assert overloaded, "queue never overflowed"
+        assert service.stats.rejected == len(overloaded)
+        assert served and all(r.ok for r in served)
+
+    run(scenario())
+
+
+def test_block_mode_applies_backpressure_not_errors():
+    async def scenario():
+        service = CamService(make_cam(shards=1), queue_depth=2,
+                             overflow="block", max_delay_s=0.0)
+        async with service:
+            responses = await asyncio.gather(
+                *[service.lookup(k) for k in range(40)]
+            )
+            assert all(r.ok for r in responses)
+            assert service.stats.rejected == 0
+            assert service.stats.max_queue_depth <= 2
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# timeouts
+# ----------------------------------------------------------------------
+class SlowBackend:
+    """Session proxy that blocks the loop long enough to expire peers."""
+
+    def __init__(self, session, stall_s):
+        self._session = session
+        self._stall_s = stall_s
+
+    def search(self, keys, groups=None):
+        import time as _time
+
+        _time.sleep(self._stall_s)
+        return self._session.search(keys, groups=groups)
+
+    def __getattr__(self, name):
+        return getattr(self._session, name)
+
+
+def test_request_timeout_resolves_as_miss():
+    async def scenario():
+        config = unit_for_entries(32, block_size=16, data_width=WIDTH,
+                                  bus_width=128)
+
+        def factory(index, cfg):
+            session = open_session(cfg, engine="batch",
+                                   name=f"slow.shard{index}")
+            return SlowBackend(session, stall_s=0.08)
+
+        cam = ShardedCam(config, shards=1, session_factory=factory)
+        service = CamService(cam, request_timeout_s=0.05, max_delay_s=0.0,
+                             max_batch=1)
+        async with service:
+            first = asyncio.ensure_future(service.lookup(1))
+            second = asyncio.ensure_future(service.lookup(2))
+            responses = await asyncio.gather(first, second)
+        # the first stalls past the second's deadline; the second must
+        # resolve as a timeout miss, not hang or error
+        statuses = sorted(r.status for r in responses)
+        assert "timeout" in statuses
+        timed_out = next(r for r in responses if r.status == "timeout")
+        assert timed_out.result is not None and not timed_out.result.hit
+        assert service.stats.timeouts >= 1
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# failure isolation
+# ----------------------------------------------------------------------
+def faulty_cam(bad_shard=0, fail_after=0, shards=2, policy="hash"):
+    config = unit_for_entries(32, block_size=16, data_width=WIDTH,
+                              bus_width=128)
+
+    def factory(index, cfg):
+        session = open_session(cfg, engine="batch", name=f"f.shard{index}")
+        if index == bad_shard:
+            return FaultyBackend(session, fail_after)
+        return session
+
+    return ShardedCam(config, shards=shards, policy=policy,
+                      session_factory=factory)
+
+
+def test_poisoned_shard_degrades_to_miss_with_error():
+    async def scenario():
+        cam = faulty_cam(bad_shard=0, shards=2)
+        async with CamService(cam) as service:
+            saw_failure = saw_ok = False
+            for key in range(32):
+                response = await service.lookup(key)
+                if response.status == "shard_failed":
+                    saw_failure = True
+                    assert response.result is not None
+                    assert not response.result.hit
+                    assert response.error
+                else:
+                    assert response.ok
+                    saw_ok = True
+            assert saw_failure, "no key routed to the poisoned shard"
+            assert saw_ok, "healthy shard stopped serving"
+            assert cam.poisoned_shards == (0,)
+        assert service.stats.shard_failures >= 1
+
+    run(scenario())
+
+
+def test_broadcast_lookup_survives_one_poisoned_shard():
+    async def scenario():
+        cam = faulty_cam(bad_shard=1, shards=3, policy="round_robin")
+        async with CamService(cam) as service:
+            # striping sends index 1 to the bad shard; 10 and 12 survive
+            response = await service.insert([10, 11, 12])
+            assert response.status == "shard_failed"
+            found = await service.lookup(10)
+            # degraded but answered from the healthy shards
+            assert found.result.hit
+            assert found.status == "shard_failed"
+
+    run(scenario())
+
+
+# ----------------------------------------------------------------------
+# workload driver (the serve-demo/CI entry point)
+# ----------------------------------------------------------------------
+def test_workload_driver_reports_clean_run():
+    async def scenario():
+        cam = demo_cam(entries_per_shard=128, shards=4, block_size=32)
+        async with CamService(cam, max_batch=32,
+                              request_timeout_s=5.0) as service:
+            report = await drive_service(
+                service, WorkloadSpec(requests=200, clients=4, seed=7)
+            )
+        assert report.requests == 200
+        assert report.ok == 200
+        assert report.timeouts == report.shard_failures == 0
+        assert report.lookups + report.inserts + report.deletes == 200
+        assert report.simulated_cycles > 0
+        assert len(report.latencies_s) == 200
+        text = report.render()
+        assert "requests" in text and "shards" in text
+
+    run(scenario())
+
+
+def test_workload_driver_with_poisoned_shard():
+    async def scenario():
+        cam = demo_cam(entries_per_shard=128, shards=4, block_size=32,
+                       poison_shard=2, poison_after=3)
+        async with CamService(cam, request_timeout_s=5.0) as service:
+            report = await drive_service(
+                service, WorkloadSpec(requests=200, clients=2, seed=11)
+            )
+        assert report.poisoned_shards == [2]
+        assert report.shard_failures > 0
+        assert report.ok > 0  # healthy shards kept serving
+
+    run(scenario())
