@@ -11,16 +11,16 @@ a narrower integration bus would cost.
 from conftest import run_once
 
 from repro.bench.tables import TableData
-from repro.core import CamSession, unit_for_entries
+from repro.core import open_session, unit_for_entries
 
 WORDS = 96
 DATA_WIDTH = 32
 
 
 def measure(bus_width: int):
-    session = CamSession(unit_for_entries(
+    session = open_session(unit_for_entries(
         128, block_size=32, data_width=DATA_WIDTH, bus_width=bus_width
-    ))
+    ), "cycle")
     stats = session.update(list(range(WORDS)))
     return stats
 

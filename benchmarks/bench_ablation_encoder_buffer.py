@@ -12,7 +12,7 @@ block would throttle, and the latency penalty never affects throughput
 from conftest import run_once
 
 from repro.bench.tables import TableData
-from repro.core import BlockConfig, CamBlock, CamSession, CellConfig, unit_for_entries
+from repro.core import BlockConfig, CamBlock, CellConfig, open_session, unit_for_entries
 from repro.core import binary_entry
 from repro.sim import Simulator
 
@@ -36,7 +36,7 @@ def measure_burst_cycles(buffered: bool) -> int:
     config = unit_for_entries(256, block_size=64, data_width=32)
     from dataclasses import replace
     config = replace(config, block=config.block.with_buffer(buffered))
-    session = CamSession(config)
+    session = open_session(config, "cycle")
     session.update(list(range(64)))
     session.search(list(range(64)))
     return session.last_search_stats.cycles

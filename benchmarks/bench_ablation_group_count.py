@@ -10,7 +10,7 @@ replication factor -- both ends of the trade are asserted here.
 from conftest import run_once
 
 from repro.bench.tables import TableData
-from repro.core import CamSession, unit_for_entries
+from repro.core import open_session, unit_for_entries
 
 BATCH = 128
 
@@ -19,7 +19,7 @@ def build_table() -> TableData:
     config = unit_for_entries(
         512, block_size=64, data_width=32, bus_width=512, default_groups=1
     )
-    session = CamSession(config)
+    session = open_session(config, "cycle")
     rows = []
     for m in (1, 2, 4, 8):
         session.set_groups(m)

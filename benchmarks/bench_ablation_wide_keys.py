@@ -11,16 +11,16 @@ count -- widening a CAM key is linear in resources, free in time.
 from conftest import run_once
 
 from repro.bench.tables import TableData
-from repro.core import CamSession, WideCamSession, unit_for_entries
+from repro.core import WideCamSession, open_session, unit_for_entries
 
 CAPACITY = 32
 
 
 def narrow_reference():
     """48-bit single-lane baseline measurements."""
-    session = CamSession(unit_for_entries(
+    session = open_session(unit_for_entries(
         CAPACITY, block_size=16, data_width=48, bus_width=128
-    ))
+    ), "cycle")
     session.update([123])
     result = session.search_one(123)
     assert result.hit

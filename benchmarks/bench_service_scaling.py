@@ -18,6 +18,13 @@ A second, informational section drives the same shard counts through
 the async :class:`CamService` front door (admission -> micro-batching
 -> merge) to show the full service path stays correct under the
 scaling run; wall-clock there is host-noise-bound and not asserted.
+
+A third section measures the replication overhead of R replicas per
+shard: writes fan out to every replica (total write work amplifies by
+exactly R), while reads are served by the preferred replica only, so
+the service-level read cycle count is *unchanged* -- replication buys
+failover at write cost, never read cost.  Asserted: write
+amplification <= R x 1.05 and identical read cycles at R = 2.
 """
 
 import pytest
@@ -120,6 +127,89 @@ def test_shard_scaling_on_table09_probes(benchmark, record_text):
     assert speedup_at_4 >= 3.0, (
         f"4 shards only {speedup_at_4:.2f}x over 1 shard"
     )
+
+
+REPLICA_COUNTS = (1, 2)
+REPLICA_SHARDS = 4
+
+
+def run_replicated_stream(replicas: int, stored, probes) -> dict:
+    cam = ShardedCam(shard_config(), shards=REPLICA_SHARDS, policy="hash",
+                     engine="batch", replicas=replicas)
+
+    def total_work() -> int:
+        """Simulated cycles summed over every physical unit (all
+        replicas of all shards) -- the hardware-work view, as opposed
+        to ``cam.cycle`` (the parallel-banks latency view)."""
+        work = 0
+        for session in cam.sessions:
+            members = getattr(session, "replicas", None) or (session,)
+            work += sum(member.cycle for member in members)
+        return work
+
+    cam.update(stored)
+    write_work = total_work()
+    write_latency = cam.cycle
+    hits = 0
+    for start in range(0, len(probes), PROBE_BATCH):
+        batch = probes[start:start + PROBE_BATCH]
+        hits += sum(r.hit for r in cam.search(batch))
+    return {
+        "replicas": replicas,
+        "hits": hits,
+        "write_work": write_work,
+        "write_latency": write_latency,
+        "read_cycles": cam.cycle - write_latency,
+    }
+
+
+def test_replication_overhead_on_table09_probes(benchmark, record_text):
+    stored, probes = table09_probe_workload()
+
+    results = {}
+    for replicas in REPLICA_COUNTS[:-1]:
+        results[replicas] = run_replicated_stream(replicas, stored, probes)
+    results[REPLICA_COUNTS[-1]] = run_once(
+        benchmark,
+        lambda: run_replicated_stream(REPLICA_COUNTS[-1], stored, probes),
+    )
+
+    base = results[1]
+    # replication is invisible to results
+    assert len({r["hits"] for r in results.values()}) == 1
+
+    lines = [
+        "replication overhead -- Table IX adjacency-probe stream",
+        f"({len(stored)} stored words, {len(probes)} probes, "
+        f"{REPLICA_SHARDS} shards, hash policy, R replicas per shard)",
+        "",
+        f"{'R':>3s} {'write work':>11s} {'write amp':>10s} "
+        f"{'read cycles':>12s} {'read cost':>10s}",
+    ]
+    for replicas in REPLICA_COUNTS:
+        row = results[replicas]
+        amplification = row["write_work"] / base["write_work"]
+        read_ratio = row["read_cycles"] / base["read_cycles"]
+        lines.append(
+            f"{replicas:3d} {row['write_work']:11d} {amplification:9.2f}x "
+            f"{row['read_cycles']:12d} {read_ratio:9.2f}x"
+        )
+    record_text("service_replication_overhead", "\n".join(lines))
+
+    for replicas in REPLICA_COUNTS:
+        row = results[replicas]
+        amplification = row["write_work"] / base["write_work"]
+        # fan-out writes cost exactly R units of work (allow 5% slack
+        # for the divergence-beat bookkeeping)
+        assert amplification <= replicas * 1.05, (
+            f"R={replicas}: write amplification {amplification:.3f} "
+            f"exceeds {replicas}x"
+        )
+        # preferred-replica reads: service-level read latency unchanged
+        assert row["read_cycles"] == base["read_cycles"], (
+            f"R={replicas}: read cycles {row['read_cycles']} != "
+            f"baseline {base['read_cycles']}"
+        )
 
 
 @pytest.mark.parametrize("shards", [1, 4])

@@ -32,10 +32,11 @@ def test_table08_unit_perf(benchmark, record_exhibit):
 def test_pipelining_sustains_full_rate(benchmark):
     """Both paths are pipelined with initiation interval 1: a burst of
     back-to-back searches completes in burst + latency cycles."""
-    from repro.core import CamSession, unit_for_entries
+    from repro.core import open_session, unit_for_entries
 
-    session = CamSession(
-        unit_for_entries(512, block_size=128, data_width=32, default_groups=1)
+    session = open_session(
+        unit_for_entries(512, block_size=128, data_width=32, default_groups=1),
+        "cycle",
     )
     session.update(list(range(64)))
 

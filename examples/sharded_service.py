@@ -13,7 +13,9 @@ This example shows:
 
 1. cross-shard priority ties resolving exactly like one big CAM;
 2. concurrent lookups coalescing into micro-batches;
-3. a shard blowing up mid-run while the healthy shards keep serving.
+3. a shard blowing up mid-run while the healthy shards keep serving;
+4. replicated shards: a dead replica served around, then rebuilt live
+   from its peer's snapshot and reinstated.
 
 Run:  python examples/sharded_service.py
 """
@@ -90,10 +92,41 @@ async def isolation_demo() -> None:
     assert outcomes["ok"] > 0
 
 
+async def recovery_demo() -> None:
+    print("4. replication: failover, then live recovery")
+
+    faulty = {}
+
+    def replica_factory(shard, replica, cfg):
+        session = repro.open_session(cfg, engine="batch",
+                                     name=f"demo.shard{shard}.r{replica}")
+        if shard == 0 and replica == 0:
+            faulty[0] = FaultyBackend(session, fail_after=6)
+            return faulty[0]
+        return session
+
+    cam = ShardedCam(shard_config(), shards=2, replicas=2,
+                     replica_factory=replica_factory)
+    async with CamService(cam) as service:
+        await service.insert(list(range(24)))   # kills shard 0's replica 0
+        hits = sum([(await service.lookup(k)).result.hit
+                    for k in range(24)])
+        print(f"   {hits}/24 keys still served (peer replica failed over)")
+        print(f"   degraded shards: {list(cam.degraded_shards)}")
+        assert hits == 24 and cam.poisoned_shards == ()
+
+        faulty[0].heal()                        # ops swap the node
+        repaired = await service.repair_shard(cam.degraded_shards[0])
+        assert repaired and cam.degraded_shards == ()
+        print(f"   repair_shard -> rebuilt from peer snapshot, "
+              f"{service.stats.repairs_completed} repair(s) completed")
+
+
 def main() -> None:
     global_priority_demo()
     asyncio.run(batching_demo())
     asyncio.run(isolation_demo())
+    asyncio.run(recovery_demo())
 
 
 if __name__ == "__main__":

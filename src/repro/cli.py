@@ -16,6 +16,10 @@ Subcommands:
   Chrome trace-event JSON (open in Perfetto)
 - ``serve-demo``                 -- drive the sharded async CAM service
   with synthetic concurrent traffic (see ``docs/service.md``)
+- ``snapshot``                   -- save a seeded demo CAM's content as a
+  versioned snapshot (JSON or compact binary)
+- ``restore``                    -- rebuild a CAM from a snapshot file and
+  optionally verify the content-hash round-trip
 - ``validate-manifest``          -- schema-check a ``BENCH_*.json`` file
 
 ``demo``, ``tc`` and ``audit`` accept ``--trace-out PATH`` to capture
@@ -152,14 +156,56 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="bounded admission queue size")
     serve.add_argument("--timeout-ms", type=float, default=5000.0,
                        help="per-request deadline from admission")
+    serve.add_argument("--replicas", type=int, default=1,
+                       help="replica sessions per shard (fan-out writes, "
+                            "failover reads, live recovery)")
+    serve.add_argument("--auto-repair", action="store_true",
+                       help="run the background repair monitor that "
+                            "rebuilds failed replicas with exponential "
+                            "backoff")
     serve.add_argument("--poison-shard", type=int, default=None,
                        metavar="INDEX",
                        help="inject a backend fault into this shard to "
                             "demonstrate failure isolation")
+    serve.add_argument("--fault-mode",
+                       choices=["wedge", "crash", "diverge"], default=None,
+                       help="injected fault flavour (default: wedge, or "
+                            "crash when --replicas > 1)")
     serve.add_argument("--trace-out", default=None, metavar="PATH",
                        help="write a Chrome trace of the run (Perfetto)")
     serve.add_argument("--manifest-out", default=None, metavar="PATH",
                        help="write a BENCH-style run manifest (JSON)")
+
+    snapshot = sub.add_parser(
+        "snapshot",
+        help="build a seeded demo CAM and save its content snapshot",
+    )
+    snapshot.add_argument("--out", default="cam_snapshot.json",
+                          metavar="PATH",
+                          help=".json for canonical JSON, anything else "
+                               "for the compact binary framing")
+    snapshot.add_argument("--entries", type=int, default=256,
+                          help="entries per shard")
+    snapshot.add_argument("--shards", type=int, default=1)
+    snapshot.add_argument("--engine", choices=["cycle", "batch", "audit"],
+                          default="batch")
+    snapshot.add_argument("--groups", type=int, default=1)
+    snapshot.add_argument("--seed", type=int, default=0)
+    snapshot.add_argument("--fill", type=float, default=0.5,
+                          help="fraction of capacity to populate")
+
+    restore = sub.add_parser(
+        "restore",
+        help="load a snapshot into a freshly built CAM and summarise it",
+    )
+    restore.add_argument("path")
+    restore.add_argument("--engine", choices=["cycle", "batch", "audit"],
+                         default=None,
+                         help="engine for the rebuilt CAM (default: the "
+                              "engine recorded in the snapshot)")
+    restore.add_argument("--verify", action="store_true",
+                         help="re-snapshot the restored CAM and check the "
+                              "content hash round-trips")
 
     validate = sub.add_parser(
         "validate-manifest",
@@ -432,6 +478,8 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         engine=args.engine,
         policy=args.policy,
         poison_shard=args.poison_shard,
+        replicas=args.replicas,
+        fault_mode=args.fault_mode,
     )
     spec = WorkloadSpec(requests=args.requests, clients=args.clients,
                         seed=args.seed)
@@ -446,6 +494,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         max_delay_s=args.max_delay_ms / 1e3,
         queue_depth=args.queue_depth,
         request_timeout_s=args.timeout_ms / 1e3,
+        auto_repair=args.auto_repair,
     )
     print(report.render())
     _write_trace(args.trace_out)
@@ -464,6 +513,9 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
                 "queue_depth": args.queue_depth,
                 "timeout_ms": args.timeout_ms,
                 "poison_shard": args.poison_shard,
+                "replicas": args.replicas,
+                "fault_mode": args.fault_mode,
+                "auto_repair": args.auto_repair,
             },
             timings={"wall_s": report.wall_s},
             metrics=obs.metrics().snapshot(),
@@ -477,6 +529,9 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
                 "mean_batch_occupancy": report.mean_batch_occupancy,
                 "poisoned_shards": report.poisoned_shards,
                 "simulated_cycles": report.simulated_cycles,
+                "repairs_completed": report.repairs_completed,
+                "repairs_failed": report.repairs_failed,
+                "failed_replicas": report.failed_replicas,
             },
         )
         with open(args.manifest_out, "w", encoding="utf-8") as handle:
@@ -488,6 +543,101 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     degraded = report.timeouts + report.shard_failures + report.client_errors
     if args.poison_shard is None and degraded:
         return 1
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    import random
+
+    if args.entries < 1:
+        print("error: --entries must be >= 1", file=sys.stderr)
+        return 1
+    block_size = 64 if args.entries % 64 == 0 else args.entries
+    config = unit_for_entries(args.entries, block_size=block_size,
+                              default_groups=args.groups)
+    cam = open_session(config, args.engine, shards=args.shards)
+    rng = random.Random(args.seed)
+    target = max(1, int(cam.capacity * min(max(args.fill, 0.0), 1.0)))
+    values = rng.sample(range(1, 1 << 32), target)
+    cam.update(values)
+    # Punch holes so the snapshot exercises dead-slot preservation, then
+    # add fresh entries past the holes (fill pointers never rewind).
+    victims = values[:: max(2, target // max(1, target // 8))][: target // 8]
+    for value in victims:
+        cam.delete(value)
+    refill = rng.sample(range(1 << 32, (1 << 32) + target), len(victims) // 2)
+    if refill and cam.occupancy + len(refill) <= cam.capacity:
+        cam.update(refill)
+    snap = cam.snapshot()
+    snap.save(args.out)
+    print(f"snapshot: {snap.describe()}")
+    print(f"content hash: {snap.content_hash()}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _backend_for_snapshot(snap, engine: Optional[str]):
+    """Rebuild an empty, restore-compatible backend from snapshot meta."""
+    from repro.core import Encoding, ReferenceCam
+    from repro.service import ShardedCam
+
+    if snap.kind == "reference":
+        return ReferenceCam(int(snap.meta["capacity"]),
+                            encoding=Encoding(snap.meta["encoding"]))
+    if snap.kind == "sharded":
+        child = snap.children[0].meta
+        config = unit_for_entries(
+            int(child["total_entries"]),
+            block_size=int(child["block_size"]),
+            data_width=int(child["data_width"]),
+            bus_width=int(child["bus_width"]),
+            cam_type=CamType(child["cam_type"]),
+            encoding=Encoding(child["encoding"]),
+        )
+        return ShardedCam(
+            config,
+            shards=int(snap.meta["shards"]),
+            policy=snap.meta.get("policy", "hash"),
+            engine=engine or child.get("engine", "batch"),
+            replicas=int(snap.meta.get("replicas", 1)),
+        )
+    if snap.kind == "unit":
+        meta = snap.meta
+        config = unit_for_entries(
+            int(meta["total_entries"]),
+            block_size=int(meta["block_size"]),
+            data_width=int(meta["data_width"]),
+            bus_width=int(meta["bus_width"]),
+            cam_type=CamType(meta["cam_type"]),
+            encoding=Encoding(meta["encoding"]),
+        )
+        return open_session(config, engine or meta.get("engine", "batch"))
+    raise ReproError(
+        f"cannot rebuild a {snap.kind!r} CAM from the CLI; construct the "
+        "session programmatically and call restore()"
+    )
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    from repro.service import CamSnapshot
+
+    try:
+        snap = CamSnapshot.load(args.path)
+    except OSError as error:
+        print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
+        return 1
+    print(f"loaded {args.path}: {snap.describe()}")
+    cam = _backend_for_snapshot(snap, args.engine)
+    cam.restore(snap)
+    print(f"restored into {cam.engine_name}: "
+          f"{cam.occupancy}/{cam.capacity} entries")
+    if args.verify:
+        want = snap.content_hash()
+        got = cam.snapshot().content_hash()
+        if want != got:
+            print(f"verify FAILED: {got} != {want}", file=sys.stderr)
+            return 1
+        print(f"verify ok: content hash {want}")
     return 0
 
 
@@ -543,6 +693,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args.out, args.engine, args.sample)
         if args.command == "serve-demo":
             return _cmd_serve_demo(args)
+        if args.command == "snapshot":
+            return _cmd_snapshot(args)
+        if args.command == "restore":
+            return _cmd_restore(args)
         if args.command == "validate-manifest":
             return _cmd_validate_manifest(args.path)
         if args.command == "sweep":

@@ -59,7 +59,15 @@ from repro.core.reference import ReferenceCam
 from repro.core.routing import PostRouter, RoutingCompute, RoutingTable
 from repro.core.session import CamSession, SearchStats, UpdateStats
 from repro.core.stats import BlockStats, UnitStats, collect_stats, publish_stats
-from repro.core.types import CamType, Encoding, OpKind, SearchResult, UpdateReceipt
+from repro.core.types import (
+    CamBackend,
+    CamStore,
+    CamType,
+    Encoding,
+    OpKind,
+    SearchResult,
+    UpdateReceipt,
+)
 from repro.core.unit import CamUnit
 from repro.core.verification import (
     CheckReport,
@@ -85,10 +93,12 @@ __all__ = [
     "BlockConfig",
     "BlockReport",
     "BlockStats",
+    "CamBackend",
     "CamBlock",
     "CamCell",
     "CamEntry",
     "CamSession",
+    "CamStore",
     "CamType",
     "CamUnit",
     "CellConfig",

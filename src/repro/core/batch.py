@@ -137,7 +137,8 @@ def _vector_from_row(row: np.ndarray) -> int:
 class BatchSession(CamSession):
     """Vectorized drop-in replacement for :class:`CamSession`.
 
-    Exposes the identical transaction API and produces bit-identical
+    Exposes the identical transaction API (both engines conform to the
+    :class:`repro.core.CamBackend` protocol) and produces bit-identical
     :class:`SearchResult` values and identical cycle accounting, but
     executes updates/searches/deletes as NumPy array operations. No
     simulator is constructed; ``cycle`` is an analytic counter.
@@ -400,6 +401,15 @@ class BatchSession(CamSession):
             )
         return results  # type: ignore[return-value]
 
+    def search_one(self, key: int, group: Optional[int] = None) -> SearchResult:
+        """Search a single key (optionally in a specific group)."""
+        groups = None if group is None else [group]
+        return self.search([key], groups=groups)[0]
+
+    def contains(self, key: int) -> bool:
+        """Convenience membership test."""
+        return self.search_one(key).hit
+
     def delete(self, key: int) -> SearchResult:
         """Delete-by-content: invalidate matches in every group."""
         with obs.span("session.delete", engine=self.engine_name):
@@ -448,6 +458,65 @@ class BatchSession(CamSession):
 
     def idle(self, cycles: int = 1) -> None:
         self._cycle += cycles
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def _distinct_stores(self) -> List[_GroupStore]:
+        seen = set()
+        out: List[_GroupStore] = []
+        for store in self._stores:
+            if id(store) not in seen:
+                seen.add(id(store))
+                out.append(store)
+        return out
+
+    def snapshot(self):
+        """Capture stored content (holes included) as a
+        :class:`~repro.service.snapshot.CamSnapshot`."""
+        from repro.service.snapshot import (
+            CamSnapshot,
+            SnapshotEntry,
+            unit_meta,
+        )
+
+        groups = [
+            [SnapshotEntry.from_entry(entry) for entry in store.entries()]
+            for store in self._distinct_stores()
+        ]
+        return CamSnapshot(
+            kind="unit",
+            meta=unit_meta(self.config, self.engine_name, self._num_groups),
+            groups=groups,
+        )
+
+    def restore(self, snapshot) -> None:
+        """Replace this session's content with a compatible snapshot.
+
+        Costs exactly what the cycle engine's replay costs (one flush
+        plus one bulk update per non-empty group), so audit-mode
+        differential checks stay bit-exact across a restore.
+        """
+        from repro.service.snapshot import check_unit_compatible
+
+        check_unit_compatible(snapshot, self.config, self.name)
+        self._num_groups = int(snapshot.meta.get("num_groups", 1))
+        self._init_stores()
+        self._cycle += self.config.update_latency + 2
+        per_beat = self.config.words_per_beat
+        for store, slots in zip(self._distinct_stores(), snapshot.groups):
+            if not slots:
+                continue
+            values = np.asarray([e.value for e in slots], dtype=np.int64)
+            cares = np.asarray([e.care for e in slots], dtype=np.int64)
+            store.append(values, cares)
+            dead = [addr for addr, e in enumerate(slots) if not e.live]
+            if dead:
+                store.live[np.asarray(dead)] = False
+            beats = -(-len(slots) // per_beat)
+            self._cycle += beats + self.config.update_latency - 1
+        obs.inc("cam_restores_total", help="snapshot restores applied",
+                engine=self.engine_name)
 
 
 # ----------------------------------------------------------------------
@@ -661,6 +730,13 @@ class AuditSession(BatchSession):
         if self._auditing:
             self.shadow.idle(cycles)
 
+    def restore(self, snapshot) -> None:
+        # Both halves replay the same snapshot at the same analytic
+        # cost, so a following audited episode compares cleanly.
+        super().restore(snapshot)
+        self.shadow.restore(snapshot)
+        self._begin_episode()
+
 
 # ----------------------------------------------------------------------
 # engine registry
@@ -689,6 +765,7 @@ def open_session(
     *,
     shards: int = 1,
     policy="hash",
+    replicas: int = 1,
     **kwargs,
 ):
     """Construct a session on the requested execution engine.
@@ -706,7 +783,13 @@ def open_session(
       ``policy`` -- a name from
       :data:`repro.service.sharding.POLICIES` or a
       :class:`~repro.service.sharding.ShardPolicy` instance. With the
-      default ``shards=1`` the ``policy`` argument is ignored.
+      default ``shards=1`` the ``policy`` argument is ignored;
+    - ``replicas > 1`` backs every shard with that many replica
+      sessions behind a :class:`~repro.service.replica.ReplicaSet`
+      (fan-out writes, failover reads, divergence beats, live
+      recovery); replication implies the sharded facade, so
+      ``replicas=2`` with the default ``shards=1`` returns a
+      one-shard :class:`~repro.service.sharded.ShardedCam`.
 
     Remaining ``kwargs`` are forwarded to the backend constructor
     (``trace`` and ``name`` everywhere; ``audit_sample`` /
@@ -714,9 +797,11 @@ def open_session(
     """
     if shards < 1:
         raise ConfigError(f"shards must be >= 1, got {shards}")
-    if shards > 1:
+    if replicas < 1:
+        raise ConfigError(f"replicas must be >= 1, got {replicas}")
+    if shards > 1 or replicas > 1:
         from repro.service.sharded import ShardedCam
 
         return ShardedCam(config, shards=shards, policy=policy,
-                          engine=engine, **kwargs)
+                          engine=engine, replicas=replicas, **kwargs)
     return session_class_for(engine)(config, **kwargs)

@@ -23,7 +23,9 @@ class ReferenceCam:
 
     Deleted entries become ``None`` holes: addresses of surviving
     entries never shift and holes are only reclaimed by :meth:`reset`,
-    mirroring the hardware's invalidate-by-content behaviour.
+    mirroring the hardware's invalidate-by-content behaviour.  Conforms
+    to the minimal :class:`repro.core.CamStore` protocol (not the full
+    :class:`repro.core.CamBackend` engine surface).
     """
 
     def __init__(self, capacity: int, encoding: Encoding = Encoding.PRIORITY) -> None:
@@ -81,3 +83,48 @@ class ReferenceCam:
     def first_match(self, key: int) -> Optional[int]:
         """Address of the first matching entry, or None."""
         return self.search(key).address
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Capture content (holes included) as a
+        :class:`~repro.service.snapshot.CamSnapshot`."""
+        from repro.service.snapshot import CamSnapshot, SnapshotEntry
+
+        return CamSnapshot(
+            kind="reference",
+            meta={"capacity": self.capacity,
+                  "encoding": self.encoding.value},
+            groups=[[SnapshotEntry.from_entry(entry)
+                     for entry in self._entries]],
+        )
+
+    def restore(self, snapshot, data_width: int = 48) -> None:
+        """Replace content with a snapshot's slots.
+
+        Accepts ``reference`` snapshots and single-group ``unit``
+        snapshots interchangeably (the reference is the golden model
+        the unit engines are proven against). ``data_width`` sizes the
+        rebuilt entries when the snapshot does not carry one.
+        """
+        from repro.errors import SnapshotError
+
+        if snapshot.kind not in ("reference", "unit"):
+            raise SnapshotError(
+                f"cannot restore a {snapshot.kind!r} snapshot into a "
+                "ReferenceCam"
+            )
+        if len(snapshot.groups) != 1:
+            raise SnapshotError(
+                f"ReferenceCam is single-group; snapshot carries "
+                f"{len(snapshot.groups)} entry lists"
+            )
+        slots = snapshot.groups[0]
+        if len(slots) > self.capacity:
+            raise SnapshotError(
+                f"snapshot holds {len(slots)} slots, reference capacity "
+                f"is {self.capacity}"
+            )
+        width = int(snapshot.meta.get("data_width", data_width))
+        self._entries = [slot.to_entry(width) for slot in slots]

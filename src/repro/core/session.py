@@ -22,7 +22,7 @@ from repro.core.config import UnitConfig
 from repro.core.mask import CamEntry, binary_entry
 from repro.core.types import CamType, SearchResult
 from repro.core.unit import CamUnit
-from repro.errors import ConfigError, SimulationError
+from repro.errors import ConfigError, RoutingError, SimulationError
 from repro.sim import Simulator, Trace
 
 RawWord = Union[int, CamEntry]
@@ -103,7 +103,8 @@ class CamSession:
     ``engine="audit"`` an :class:`~repro.core.batch.AuditSession` that
     differentially verifies the fast path against a cycle-accurate
     shadow. Both are subclasses, so ``isinstance(session, CamSession)``
-    holds for every engine.
+    holds for every engine, and every engine conforms to the
+    :class:`repro.core.CamBackend` protocol.
     """
 
     engine_name = "cycle"
@@ -122,8 +123,9 @@ class CamSession:
 
             warnings.warn(
                 "engine dispatch through CamSession(config, engine=...) is "
-                "deprecated; construct sessions with "
-                "repro.open_session(config, engine=...) instead",
+                "deprecated and will be removed in repro 0.6; construct "
+                "sessions with repro.open_session(config, engine=...) "
+                "instead",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -359,3 +361,92 @@ class CamSession:
     def idle(self, cycles: int = 1) -> None:
         """Let the clock run without issuing operations."""
         self.sim.step(cycles)
+
+    def stored_entries(self, group: int = 0):
+        """Golden-model view of one group's content, in write order
+        (deleted holes preserved as ``None``)."""
+        if not 0 <= group < self.num_groups:
+            raise RoutingError(
+                f"group {group} out of range (0..{self.num_groups - 1})"
+            )
+        return self._group_slots(group)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def _group_slots(self, group: int):
+        """Stored slots of one group in address order, holes as None.
+
+        Reads the cell registers directly rather than
+        ``unit.stored_entries`` (which drops deleted holes): the slot
+        *positions* are part of the architectural state -- the fill
+        pointer never rewinds, so hole placement decides which address
+        a future insert lands on.
+        """
+        slots = []
+        for block_id in self.unit.table.blocks_in_group(group):
+            block = self.unit.blocks[block_id]
+            for cell in block.cells[: block.occupancy]:
+                slots.append(cell.stored_entry)
+        return slots
+
+    def snapshot(self):
+        """Capture stored content (holes included) as a
+        :class:`~repro.service.snapshot.CamSnapshot`."""
+        from repro.service.snapshot import (
+            CamSnapshot,
+            SnapshotEntry,
+            unit_meta,
+        )
+
+        group_ids = ([0] if self.config.replicate_updates
+                     else range(self.num_groups))
+        groups = [
+            [SnapshotEntry.from_entry(slot) for slot in self._group_slots(g)]
+            for g in group_ids
+        ]
+        return CamSnapshot(
+            kind="unit",
+            meta=unit_meta(self.config, self.engine_name, self.num_groups),
+            groups=groups,
+        )
+
+    def restore(self, snapshot) -> None:
+        """Replace this session's content with a compatible snapshot.
+
+        Implemented as real transactions: a regroup flush, then one
+        bulk update per group with zero-valued placeholders standing in
+        for dead slots. The placeholders are then invalidated directly
+        at the cell registers (a delete-by-content replay could not
+        target a single slot: for ternary content the dead entry's
+        value may still match *live* final entries). The replay leaves
+        the fill pointers, hole positions and priority order
+        bit-identical to the snapshotted unit.
+        """
+        from repro.service.snapshot import (
+            check_unit_compatible,
+            restore_payload,
+        )
+
+        check_unit_compatible(snapshot, self.config,
+                              getattr(self.unit, "name", "cam_unit"))
+        num_groups = int(snapshot.meta.get("num_groups", 1))
+        self.set_groups(num_groups)
+        replicated = self.config.replicate_updates
+        block_size = self.unit.block_size
+        for index, slots in enumerate(snapshot.groups):
+            if not slots:
+                continue
+            entries, dead = restore_payload(slots, self.config.data_width)
+            self.update(entries, group=None if replicated else index)
+            if not dead:
+                continue
+            poke_groups = range(num_groups) if replicated else [index]
+            for g in poke_groups:
+                block_ids = self.unit.table.blocks_in_group(g)
+                for address in dead:
+                    block = self.unit.blocks[block_ids[address // block_size]]
+                    block.cells[address % block_size].occupied = False
+                    block._deleted += 1
+        obs.inc("cam_restores_total", help="snapshot restores applied",
+                engine=self.engine_name)

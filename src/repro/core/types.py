@@ -1,10 +1,19 @@
-"""Shared types of the CAM core: CAM kinds, operations, results."""
+"""Shared types of the CAM core: CAM kinds, operations, results,
+and the backend protocols every CAM implementation conforms to."""
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import (
+    Any,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 from repro.dsp.primitives import popcount
 
@@ -104,6 +113,84 @@ class SearchResult:
         # Encoding.BINARY: hit | multi-match flag | address.
         multi = 1 << (address_bits + 1) if self.match_count > 1 else 0
         return multi | hit_bit | (self.address or 0)
+
+
+@runtime_checkable
+class CamStore(Protocol):
+    """Minimal content surface shared by every CAM model.
+
+    This is the contract the golden :class:`~repro.core.ReferenceCam`
+    satisfies: enough to fill a CAM, query it, wipe it, and carry its
+    content across processes as a versioned snapshot.  Implementations
+    are free to take richer signatures (the engines accept key batches
+    where the reference takes one key); the protocol pins the *names*,
+    which is what duck-typed call sites and the conformance suite in
+    ``tests/core/test_backend_protocol.py`` rely on.
+
+    Use ``isinstance(obj, CamStore)`` for runtime checks; ``issubclass``
+    is unsupported because the protocol carries data members.
+    """
+
+    @property
+    def capacity(self) -> int: ...
+
+    @property
+    def occupancy(self) -> int: ...
+
+    def update(self, words: Sequence[Any], *args: Any, **kwargs: Any) -> Any: ...
+
+    def search(self, *args: Any, **kwargs: Any) -> Any: ...
+
+    def reset(self) -> None: ...
+
+    def snapshot(self) -> Any: ...
+
+    def restore(self, snapshot: Any, *args: Any, **kwargs: Any) -> None: ...
+
+
+@runtime_checkable
+class CamBackend(CamStore, Protocol):
+    """Full engine surface that :class:`~repro.service.ShardedCam`,
+    :class:`~repro.service.CamService`, :class:`~repro.service.ReplicaSet`
+    and the :mod:`repro.apps` case studies program against.
+
+    Everything constructed through :func:`repro.open_session` conforms:
+    the cycle-accurate :class:`~repro.core.CamSession`, the vectorized
+    :class:`~repro.core.BatchCamSession`, the differential audit
+    session, the sharded facade itself, and replica sets -- which is
+    what lets shards, replicas and single units substitute for each
+    other behind the service layer.
+    """
+
+    @property
+    def cycle(self) -> int: ...
+
+    @property
+    def num_groups(self) -> int: ...
+
+    @property
+    def engine_name(self) -> str: ...
+
+    @property
+    def search_latency(self) -> int: ...
+
+    @property
+    def update_latency(self) -> int: ...
+
+    @property
+    def words_per_beat(self) -> int: ...
+
+    def search_one(self, key: int, group: Optional[int] = None) -> "SearchResult": ...
+
+    def contains(self, key: int) -> bool: ...
+
+    def delete(self, key: int) -> "SearchResult": ...
+
+    def set_groups(self, num_groups: int) -> None: ...
+
+    def idle(self, cycles: int = 1) -> None: ...
+
+    def resources(self) -> Any: ...
 
 
 @dataclass(frozen=True)

@@ -193,3 +193,43 @@ class WideCamSession:
     def reset(self) -> None:
         for lane in self.lanes:
             lane.reset()
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Capture all lanes as one ``wide`` snapshot (children are the
+        per-lane unit snapshots, in lane order)."""
+        from repro.service.snapshot import CamSnapshot
+
+        return CamSnapshot(
+            kind="wide",
+            meta={
+                "key_width": self.key_width,
+                "capacity": self.capacity,
+                "lane_widths": list(self._lane_widths),
+            },
+            children=[lane.snapshot() for lane in self.lanes],
+        )
+
+    def restore(self, snapshot) -> None:
+        """Restore every lane from a compatible ``wide`` snapshot."""
+        from repro.errors import SnapshotError
+
+        if snapshot.kind != "wide":
+            raise SnapshotError(
+                f"cannot restore a {snapshot.kind!r} snapshot into a "
+                "wide CAM"
+            )
+        if snapshot.meta.get("key_width") != self.key_width:
+            raise SnapshotError(
+                f"snapshot key width {snapshot.meta.get('key_width')} != "
+                f"CAM key width {self.key_width}"
+            )
+        if len(snapshot.children) != self.num_lanes:
+            raise SnapshotError(
+                f"snapshot carries {len(snapshot.children)} lanes, "
+                f"this CAM has {self.num_lanes}"
+            )
+        for lane, child in zip(self.lanes, snapshot.children):
+            lane.restore(child)

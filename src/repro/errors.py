@@ -88,6 +88,26 @@ class ServiceOverloadError(ServiceError):
     reject-on-overflow mode (backpressure surfaced to the caller)."""
 
 
+class ReplicaExhaustedError(ServiceError):
+    """Every replica of a replica set has failed.
+
+    Raised by :class:`repro.service.replica.ReplicaSet` when an
+    operation finds no healthy replica to serve it. Reaching the
+    sharded layer this poisons the owning shard, exactly like a
+    single-session backend fault.
+    """
+
+
+class SnapshotError(ReproError):
+    """A CAM snapshot is malformed or incompatible with its target.
+
+    Raised when decoding a corrupt/unsupported snapshot payload or when
+    restoring a snapshot into a backend whose configuration (width, CAM
+    type, group structure, capacity) cannot reproduce the captured
+    state bit-identically.
+    """
+
+
 class HdlGenError(ReproError):
     """Verilog generation failed (bad identifier, impossible template)."""
 

@@ -34,8 +34,14 @@ Construct the sharded façade through :func:`repro.open_session` with
 
 from __future__ import annotations
 
+from repro.service.replica import ReplicaSet, ReplicaStats
 from repro.service.scheduler import CamService, ServiceResponse, ServiceStats
 from repro.service.sharded import ShardedCam, merge_results
+from repro.service.snapshot import (
+    SNAPSHOT_VERSION,
+    CamSnapshot,
+    SnapshotEntry,
+)
 from repro.service.sharding import (
     POLICIES,
     HashShardPolicy,
@@ -55,8 +61,13 @@ from repro.service.workload import (
 
 __all__ = [
     "POLICIES",
+    "SNAPSHOT_VERSION",
     "CamService",
+    "CamSnapshot",
     "FaultyBackend",
+    "ReplicaSet",
+    "ReplicaStats",
+    "SnapshotEntry",
     "HashShardPolicy",
     "RangeShardPolicy",
     "RoundRobinShardPolicy",

@@ -102,6 +102,8 @@ class ServiceStats:
     dispatches: int = 0
     dispatched_requests: int = 0
     max_queue_depth: int = 0
+    repairs_completed: int = 0
+    repairs_failed: int = 0
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -166,6 +168,9 @@ class CamService:
         queue_depth: int = 1024,
         request_timeout_s: float = 1.0,
         overflow: str = "block",
+        auto_repair: bool = False,
+        repair_backoff_s: float = 0.05,
+        repair_backoff_max_s: float = 2.0,
     ) -> None:
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
@@ -181,17 +186,28 @@ class CamService:
             raise ConfigError(
                 f"overflow must be 'block' or 'reject', got {overflow!r}"
             )
+        if repair_backoff_s <= 0 or repair_backoff_max_s < repair_backoff_s:
+            raise ConfigError(
+                "repair backoff must satisfy 0 < repair_backoff_s <= "
+                f"repair_backoff_max_s, got {repair_backoff_s} / "
+                f"{repair_backoff_max_s}"
+            )
         self.cam = cam
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.queue_depth = queue_depth
         self.request_timeout_s = request_timeout_s
         self.overflow = overflow
+        self.auto_repair = auto_repair
+        self.repair_backoff_s = repair_backoff_s
+        self.repair_backoff_max_s = repair_backoff_max_s
         self.stats = ServiceStats()
         self._queue: Optional[asyncio.Queue] = None
         self._shard_queues: List[asyncio.Queue] = []
         self._tasks: List[asyncio.Task] = []
         self._running = False
+        #: shard -> (next attempt time, current backoff delay).
+        self._repair_schedule: Dict[int, Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -208,6 +224,8 @@ class CamService:
             for shard in range(self.cam.num_shards)
         ]
         self._running = True
+        if self.auto_repair:
+            self._tasks.append(asyncio.ensure_future(self._repair_monitor()))
 
     async def stop(self) -> None:
         """Drain in-flight work, then shut the pipeline down."""
@@ -232,6 +250,75 @@ class CamService:
     def depth(self) -> int:
         """Current admission queue depth."""
         return self._queue.qsize() if self._queue is not None else 0
+
+    # ------------------------------------------------------------------
+    # repair
+    # ------------------------------------------------------------------
+    async def repair_shard(self, shard: int) -> bool:
+        """Rebuild a degraded shard's failed replicas and reinstate it.
+
+        For each failed replica of the shard's
+        :class:`~repro.service.replica.ReplicaSet` backend: snapshot a
+        healthy donor, yield the loop once so writes admitted meanwhile
+        land in the bounded catch-up log, then restore + replay +
+        reinstate. If the whole backend comes back healthy, a poison
+        fence on the shard is lifted (:meth:`ShardedCam.revive_shard`).
+        Returns ``True`` when the shard ends the call fully healthy.
+        Requires a replicated backend -- an unreplicated poisoned shard
+        has no surviving copy to rebuild from.
+        """
+        if not 0 <= shard < self.cam.num_shards:
+            raise ConfigError(
+                f"shard {shard} out of range (0..{self.cam.num_shards - 1})"
+            )
+        backend = self.cam.sessions[shard]
+        failed = getattr(backend, "failed_replicas", None)
+        if failed is None:
+            return False  # no replica machinery behind this shard
+        with obs.span("svc.repair_shard", shard=shard,
+                      failed=len(failed)):
+            for index in failed:
+                try:
+                    backend.begin_rebuild(index)
+                    # Let concurrently-admitted writes interleave; they
+                    # are recorded in the catch-up log and replayed.
+                    await asyncio.sleep(0)
+                    backend.finish_rebuild(index)
+                except ServiceError:
+                    self.stats.repairs_failed += 1
+                    obs.inc("svc_repairs_failed_total",
+                            help="shard repair attempts that failed",
+                            shard=shard)
+                    continue
+                self.stats.repairs_completed += 1
+                obs.inc("svc_repairs_total",
+                        help="replica rebuilds completed by the service",
+                        shard=shard)
+        if getattr(backend, "failed_replicas", ()):
+            return False
+        self.cam.revive_shard(shard)
+        return True
+
+    async def _repair_monitor(self) -> None:
+        """Background auto-repair loop with per-shard exponential backoff."""
+        loop = asyncio.get_running_loop()
+        while self._running:
+            await asyncio.sleep(self.max_delay_s or 0.001)
+            now = loop.time()
+            for shard in self.cam.degraded_shards:
+                next_at, delay = self._repair_schedule.get(
+                    shard, (0.0, self.repair_backoff_s)
+                )
+                if now < next_at:
+                    continue
+                if await self.repair_shard(shard):
+                    self._repair_schedule.pop(shard, None)
+                else:
+                    # Wait the current delay, double it for next time.
+                    self._repair_schedule[shard] = (
+                        loop.time() + delay,
+                        min(delay * 2, self.repair_backoff_max_s),
+                    )
 
     # ------------------------------------------------------------------
     # client API

@@ -83,11 +83,13 @@ def merge_results(
 class ShardedCam:
     """One logical CAM served by ``shards`` independent sessions.
 
-    Satisfies the blocking session protocol (``update`` / ``search`` /
-    ``search_one`` / ``contains`` / ``delete`` / ``reset`` / ``idle``
-    plus the capacity/occupancy/cycle properties), so callers written
-    against :class:`~repro.core.CamSession` work unchanged; construct
-    it through :func:`repro.open_session` with ``shards > 1``.
+    Conforms to the :class:`repro.core.CamBackend` protocol (``update``
+    / ``search`` / ``search_one`` / ``contains`` / ``delete`` /
+    ``reset`` / ``idle`` / ``snapshot`` / ``restore`` plus the
+    capacity/occupancy/cycle properties), so callers written against
+    :class:`~repro.core.CamSession` work unchanged; construct it
+    through :func:`repro.open_session` with ``shards > 1`` (and
+    ``replicas > 1`` for replicated shards).
 
     ``config`` describes **one shard's** unit; total capacity is
     ``shards`` times the per-shard capacity. Pinned policies (hash,
@@ -104,11 +106,15 @@ class ShardedCam:
         policy: Union[str, ShardPolicy] = "hash",
         engine: str = "batch",
         name: str = "sharded_cam",
+        replicas: int = 1,
         session_factory=None,
+        replica_factory=None,
         **session_kwargs,
     ) -> None:
         if shards < 1:
             raise ConfigError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
         self.config = config
         self.name = name
         self.policy = policy_for(policy, shards, config.data_width)
@@ -120,7 +126,34 @@ class ShardedCam:
                 "'round_robin' policy for ternary/range configurations"
             )
         self.engine = engine
-        if session_factory is None:
+        self.num_replicas = replicas
+        if replicas > 1:
+            if session_factory is not None:
+                raise ConfigError(
+                    f"{name}: session_factory and replicas are exclusive; "
+                    "wrap individual replicas with replica_factory instead"
+                )
+            from repro.service.replica import ReplicaSet
+
+            if replica_factory is None:
+                from repro.core.batch import open_session
+
+                def replica_factory(shard: int, replica: int,
+                                    cfg: UnitConfig) -> CamSession:
+                    return open_session(
+                        cfg, engine=engine,
+                        name=f"{name}.shard{shard}.r{replica}",
+                        **session_kwargs,
+                    )
+
+            def session_factory(index: int, cfg: UnitConfig):
+                return ReplicaSet(
+                    [replica_factory(index, r, cfg)
+                     for r in range(replicas)],
+                    name=f"{name}.shard{index}",
+                )
+
+        elif session_factory is None:
             from repro.core.batch import open_session
 
             def session_factory(index: int, cfg: UnitConfig) -> CamSession:
@@ -143,6 +176,9 @@ class ShardedCam:
     # ------------------------------------------------------------------
     @property
     def engine_name(self) -> str:
+        if self.num_replicas > 1:
+            return (f"sharded[{self.num_shards}x{self.num_replicas}x"
+                    f"{self.engine}]")
         return f"sharded[{self.num_shards}x{self.engine}]"
 
     @property
@@ -189,8 +225,41 @@ class ShardedCam:
         """Shards fenced off after an unexpected backend failure."""
         return tuple(sorted(self._poisoned))
 
+    @property
+    def degraded_shards(self) -> Tuple[int, ...]:
+        """Shards that need attention: poisoned, or (with replication)
+        serving with at least one failed replica."""
+        degraded = set(self._poisoned)
+        for shard, session in enumerate(self.sessions):
+            if getattr(session, "failed_replicas", ()):
+                degraded.add(shard)
+        return tuple(sorted(degraded))
+
     def shard_healthy(self, shard: int) -> bool:
         return shard not in self._poisoned
+
+    def revive_shard(self, shard: int) -> None:
+        """Lift the poison fence from a shard whose backend has been
+        repaired (all replicas healthy again). The shard resumes
+        serving with the content it held -- replicated backends keep it
+        consistent through the repair."""
+        if not 0 <= shard < self.num_shards:
+            raise RoutingError(
+                f"{self.name}: shard {shard} out of range "
+                f"(0..{self.num_shards - 1})"
+            )
+        if shard not in self._poisoned:
+            return
+        if getattr(self.sessions[shard], "failed_replicas", ()):
+            raise ShardFailedError(
+                shard, "cannot revive: backend still has failed replicas"
+            )
+        del self._poisoned[shard]
+        obs.inc("svc_shard_revivals_total",
+                help="poisoned shards reinstated after repair", shard=shard)
+        obs.set_gauge("svc_shards_healthy",
+                      self.num_shards - len(self._poisoned),
+                      help="shards currently serving")
 
     def resources(self):
         """Aggregate resource vector (N times one shard's unit)."""
@@ -478,11 +547,30 @@ class ShardedCam:
         self._flush_addressing()
 
     def reset(self) -> None:
-        """Clear every shard and restart the global address space."""
+        """Clear every shard and restart the global address space.
+
+        Reset is also the recovery hammer: a *poisoned* shard gets its
+        backend reset too, and if that succeeds the fence is lifted --
+        an empty shard is trivially consistent with an empty address
+        map, so a reset sharded CAM is result-identical to a freshly
+        constructed one (regression-tested against a fresh instance).
+        A backend that still faults during its reset stays poisoned.
+        """
         with obs.span("svc.reset", engine=self.engine_name):
-            for session in self.sessions:
-                session.reset()
+            for shard, session in enumerate(self.sessions):
+                try:
+                    session.reset()
+                except _CLIENT_ERRORS:
+                    raise
+                except Exception as exc:
+                    if shard not in self._poisoned:
+                        self._poison(shard, exc)
+                    continue
+                self._poisoned.pop(shard, None)
         self._flush_addressing()
+        obs.set_gauge("svc_shards_healthy",
+                      self.num_shards - len(self._poisoned),
+                      help="shards currently serving")
 
     def _flush_addressing(self) -> None:
         self._global_addrs = [[] for _ in range(self.num_shards)]
@@ -491,3 +579,92 @@ class ShardedCam:
     def idle(self, cycles: int = 1) -> None:
         for session in self.sessions:
             session.idle(cycles)
+
+    # ------------------------------------------------------------------
+    # snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """Capture every shard plus the global address maps.
+
+        The children are the per-shard snapshots (taken through
+        whatever backend serves the shard -- a replica set contributes
+        its healthy preferred replica); the metadata carries the
+        local-to-global address tables, so a restore reproduces
+        cross-shard priority order exactly.
+        """
+        from repro.service.snapshot import CamSnapshot
+
+        children = []
+        for shard, session in enumerate(self.sessions):
+            self._check_shard(shard)
+            try:
+                children.append(session.snapshot())
+            except _CLIENT_ERRORS:
+                raise
+            except Exception as exc:
+                raise self._poison(shard, exc) from exc
+        return CamSnapshot(
+            kind="sharded",
+            meta={
+                "shards": self.num_shards,
+                "replicas": self.num_replicas,
+                "policy": self.policy.name,
+                "engine": self.engine,
+                "global_count": self._global_count,
+                "global_addrs": [list(t) for t in self._global_addrs],
+            },
+            children=children,
+        )
+
+    def restore(self, snapshot) -> None:
+        """Restore every shard and the address maps from a snapshot.
+
+        A successful restore also clears poison fences: each backend
+        now verifiably holds the snapshotted content, which is exactly
+        the consistency the fence protects.
+        """
+        from repro.errors import SnapshotError
+
+        if snapshot.kind != "sharded":
+            raise SnapshotError(
+                f"{self.name}: cannot restore a {snapshot.kind!r} snapshot "
+                "into a sharded CAM"
+            )
+        if snapshot.meta.get("shards") != self.num_shards:
+            raise SnapshotError(
+                f"{self.name}: snapshot has {snapshot.meta.get('shards')} "
+                f"shards, this CAM has {self.num_shards}"
+            )
+        if snapshot.meta.get("policy") != self.policy.name:
+            raise SnapshotError(
+                f"{self.name}: snapshot used policy "
+                f"{snapshot.meta.get('policy')!r}, this CAM routes with "
+                f"{self.policy.name!r}"
+            )
+        if len(snapshot.children) != self.num_shards:
+            raise SnapshotError(
+                f"{self.name}: snapshot carries {len(snapshot.children)} "
+                f"shard children, this CAM has {self.num_shards}"
+            )
+        tables = snapshot.meta.get("global_addrs")
+        if not isinstance(tables, list) or len(tables) != self.num_shards:
+            raise SnapshotError(
+                f"{self.name}: snapshot is missing per-shard address tables"
+            )
+        for shard, (session, child) in enumerate(
+            zip(self.sessions, snapshot.children)
+        ):
+            try:
+                session.restore(child)
+            except _CLIENT_ERRORS:
+                raise
+            except SnapshotError:
+                raise
+            except Exception as exc:
+                raise self._poison(shard, exc) from exc
+            self._poisoned.pop(shard, None)
+        self._global_addrs = [[int(a) for a in table] for table in tables]
+        self._global_count = int(snapshot.meta.get("global_count", 0))
+        obs.set_gauge("svc_shards_healthy",
+                      self.num_shards - len(self._poisoned),
+                      help="shards currently serving")

@@ -28,28 +28,79 @@ from repro.service.sharded import ShardedCam
 
 
 class FaultyBackend:
-    """Session proxy that fails permanently after ``fail_after`` ops.
+    """Session proxy that injects a fault after ``fail_after`` ops.
 
     Wraps a real session and forwards everything; once the programmed
-    operation count is reached every further transaction raises
-    :class:`SimulationError`, which the sharded layer treats as a
-    backend fault and answers by poisoning the shard.
+    operation count is reached the selected failure ``mode`` kicks in:
+
+    - ``"wedge"`` (default, the original behaviour) -- every further
+      transaction raises :class:`SimulationError` forever; the sharded
+      layer poisons the shard, a replica set fences the replica.
+    - ``"crash"`` -- transactions raise for a window of ``fail_ops``
+      operations, then the backend recovers (a rebooted process: its
+      *content is stale*, so it must be rebuilt from a peer before it
+      can serve again -- exactly what the repair path does).
+    - ``"diverge"`` -- updates silently drop their words while
+      reporting success; nothing raises. Only the replica set's
+      content-hash divergence beats catch this one.
+
+    Snapshot/restore/reset pass through untouched (they ride
+    ``__getattr__``), so a wedged or crashed replica can still be
+    rebuilt from a donor snapshot.
     """
 
-    def __init__(self, session, fail_after: int) -> None:
+    MODES = ("wedge", "crash", "diverge")
+
+    def __init__(self, session, fail_after: int, *, mode: str = "wedge",
+                 fail_ops: int = 25) -> None:
+        if mode not in self.MODES:
+            raise ConfigError(
+                f"fault mode must be one of {self.MODES}, got {mode!r}"
+            )
+        if fail_ops < 1:
+            raise ConfigError(f"fail_ops must be >= 1, got {fail_ops}")
         self._session = session
         self._fail_after = fail_after
+        self._mode = mode
+        self._fail_ops = fail_ops
         self._ops = 0
+
+    def heal(self) -> None:
+        """Clear the injected fault (models swapping in a healthy node).
+
+        The backend's *content* stays whatever the fault left behind, so
+        a wedged/crashed replica still needs a rebuild before serving.
+        """
+        self._fail_after = float("inf")
+
+    def _faulting(self) -> bool:
+        if self._ops <= self._fail_after:
+            return False
+        if self._mode == "crash":
+            return self._ops <= self._fail_after + self._fail_ops
+        return True
 
     def _tick(self) -> None:
         self._ops += 1
-        if self._ops > self._fail_after:
+        if self._mode != "diverge" and self._faulting():
             raise SimulationError(
-                f"injected backend fault after {self._fail_after} ops"
+                f"injected {self._mode} fault after {self._fail_after} ops"
             )
 
     def update(self, words, group=None):
         self._tick()
+        if self._mode == "diverge" and self._faulting():
+            # Silently lose the write but report plausible stats: the
+            # replica now disagrees without ever raising.
+            words = list(words)
+            per_beat = self._session.words_per_beat
+            beats = -(-len(words) // per_beat)
+            from repro.core.session import UpdateStats
+
+            return UpdateStats(
+                words=len(words), beats=beats,
+                cycles=beats + self._session.update_latency - 1,
+            )
         return self._session.update(words, group=group)
 
     def search(self, keys, groups=None):
@@ -107,6 +158,10 @@ class WorkloadReport:
     max_queue_depth: int = 0
     mean_batch_occupancy: float = 0.0
     simulated_cycles: int = 0
+    replicas: int = 1
+    repairs_completed: int = 0
+    repairs_failed: int = 0
+    failed_replicas: Dict[int, List[int]] = field(default_factory=dict)
 
     @property
     def throughput_rps(self) -> float:
@@ -143,6 +198,13 @@ class WorkloadReport:
             f"poisoned {self.poisoned_shards or 'none'}",
             f"simulated cycles  : {self.simulated_cycles}",
         ]
+        if self.replicas > 1:
+            lines.append(
+                f"replication       : {self.replicas} replicas/shard, "
+                f"{self.repairs_completed} repairs completed, "
+                f"{self.repairs_failed} failed, degraded replicas "
+                f"{self.failed_replicas or 'none'}"
+            )
         return "\n".join(lines)
 
 
@@ -154,15 +216,22 @@ def demo_cam(
     data_width: int = 32,
     engine: str = "batch",
     policy: str = "hash",
+    replicas: int = 1,
     poison_shard: Optional[int] = None,
     poison_after: int = 50,
+    fault_mode: Optional[str] = None,
+    fail_ops: int = 25,
     **session_kwargs,
 ) -> ShardedCam:
     """Build the demo service's backing :class:`ShardedCam`.
 
     ``poison_shard`` wraps that shard in a :class:`FaultyBackend` that
     blows up after ``poison_after`` operations -- the failure-isolation
-    demonstration.
+    demonstration. With ``replicas > 1`` only that shard's *preferred*
+    replica is wrapped, so the shard keeps serving through its healthy
+    peer and the repair path has a donor to rebuild from; the default
+    fault mode then becomes ``"crash"`` (the replica recovers and can
+    be reinstated) instead of ``"wedge"``.
     """
     config = unit_for_entries(
         entries_per_shard,
@@ -172,20 +241,40 @@ def demo_cam(
         cam_type=CamType.BINARY,
         default_groups=1,
     )
+    if fault_mode is None:
+        fault_mode = "wedge" if replicas == 1 else "crash"
     factory = None
+    replica_factory = None
     if poison_shard is not None:
         from repro.core.batch import open_session
 
-        def factory(index: int, cfg: UnitConfig):
-            session = open_session(cfg, engine=engine,
-                                   name=f"svc.shard{index}",
-                                   **session_kwargs)
-            if index == poison_shard:
-                return FaultyBackend(session, poison_after)
-            return session
+        if replicas > 1:
+            def replica_factory(shard: int, replica: int, cfg: UnitConfig):
+                session = open_session(
+                    cfg, engine=engine,
+                    name=f"svc.shard{shard}.r{replica}",
+                    **session_kwargs,
+                )
+                if shard == poison_shard and replica == 0:
+                    return FaultyBackend(session, poison_after,
+                                         mode=fault_mode,
+                                         fail_ops=fail_ops)
+                return session
+        else:
+            def factory(index: int, cfg: UnitConfig):
+                session = open_session(cfg, engine=engine,
+                                       name=f"svc.shard{index}",
+                                       **session_kwargs)
+                if index == poison_shard:
+                    return FaultyBackend(session, poison_after,
+                                         mode=fault_mode,
+                                         fail_ops=fail_ops)
+                return session
 
     return ShardedCam(config, shards=shards, policy=policy, engine=engine,
-                      name="svc", session_factory=factory, **session_kwargs)
+                      name="svc", replicas=replicas,
+                      session_factory=factory,
+                      replica_factory=replica_factory, **session_kwargs)
 
 
 async def drive_service(service: CamService,
@@ -252,6 +341,14 @@ async def drive_service(service: CamService,
     report.max_queue_depth = service.stats.max_queue_depth
     report.mean_batch_occupancy = service.stats.mean_batch_occupancy
     report.simulated_cycles = cam.cycle
+    report.replicas = getattr(cam, "num_replicas", 1)
+    report.repairs_completed = service.stats.repairs_completed
+    report.repairs_failed = service.stats.repairs_failed
+    report.failed_replicas = {
+        shard: list(failed)
+        for shard, session in enumerate(cam.sessions)
+        if (failed := getattr(session, "failed_replicas", ()))
+    }
     return report
 
 
@@ -263,6 +360,7 @@ def run_demo_workload(
     max_delay_s: float = 0.002,
     queue_depth: int = 1024,
     request_timeout_s: float = 5.0,
+    auto_repair: bool = False,
 ) -> WorkloadReport:
     """Blocking entry point: start a service, drive it, report."""
     spec = spec or WorkloadSpec()
@@ -274,6 +372,7 @@ def run_demo_workload(
             max_delay_s=max_delay_s,
             queue_depth=queue_depth,
             request_timeout_s=request_timeout_s,
+            auto_repair=auto_repair,
         ) as service:
             return await drive_service(service, spec)
 

@@ -125,6 +125,45 @@ def test_reset_restarts_global_addressing(shard_config):
     assert cam.search_one(9).address == 0
 
 
+def test_reset_is_result_identical_to_fresh(shard_config):
+    """Regression: reset() must clear poisoned-shard state and the
+    address-translation tables -- a reset CAM behaves exactly like a
+    freshly constructed one, including after a shard fault."""
+    def poisoning_factory(index, cfg):
+        session = BatchSession(cfg, name=f"sharded_cam.shard{index}")
+        if index == 1:
+            return FaultyBackend(session, fail_after=4)
+        return session
+
+    used = ShardedCam(shard_config, shards=2, engine="batch",
+                      session_factory=poisoning_factory)
+    used.update([1, 2, 3, 4, 5, 6])
+    used.delete(3)
+    with pytest.raises(ShardFailedError):
+        for value in range(10, 30):
+            used.update([value])
+    assert used.poisoned_shards == (1,)
+
+    # swap in a healthy node, then reset: a fresh episode begins with
+    # every shard revived and the address map empty
+    used.sessions[1].heal()
+    used.reset()
+    assert used.poisoned_shards == ()
+    assert used.occupancy == 0
+
+    fresh = ShardedCam(shard_config, shards=2, engine="batch")
+    workload = [40, 41, 42, 43, 44]
+    used.update(workload)
+    fresh.update(workload)
+    used.delete(41)
+    fresh.delete(41)
+    for key in workload + [1, 3, 99]:
+        ours, gold = used.search_one(key), fresh.search_one(key)
+        assert (ours.hit, ours.address, ours.match_vector) \
+            == (gold.hit, gold.address, gold.match_vector), key
+    assert used.snapshot().content_hash() == fresh.snapshot().content_hash()
+
+
 # ----------------------------------------------------------------------
 # protocol guard rails
 # ----------------------------------------------------------------------
