@@ -32,7 +32,6 @@ import pytest
 from conftest import run_once
 
 from repro.core import unit_for_entries
-from repro.graph import power_law
 from repro.service import (
     CamService,
     ShardedCam,
@@ -40,6 +39,7 @@ from repro.service import (
     demo_cam,
     drive_service,
 )
+from repro.service.workload import table09_probe_stream
 
 SHARD_COUNTS = (1, 2, 4)
 PROBE_BATCH = 512
@@ -52,27 +52,11 @@ def shard_config():
 
 
 def table09_probe_workload():
-    """Stored hub adjacency + probe stream from the Table IX graph."""
-    graph = power_law(2000, 12_000, triangle_fraction=0.4, seed=3)
-    order = sorted(range(graph.num_vertices), key=graph.degree,
-                   reverse=True)
+    """Stored hub adjacency + probe stream from the Table IX graph
+    (the shared stream also used by ``bench_net_throughput`` and the
+    ``loadgen`` CLI, so every layer is measured on the same input)."""
     capacity = shard_config().num_blocks * 64
-    stored, seen = [], set()
-    for hub in order:
-        for neighbor in graph.neighbors(hub):
-            value = int(neighbor)
-            if value not in seen:
-                seen.add(value)
-                stored.append(value)
-        if len(stored) >= int(capacity * 0.6):
-            break
-    probes = []
-    for u, v in graph.edges():
-        side = u if graph.degree(u) <= graph.degree(v) else v
-        probes.extend(int(w) for w in graph.neighbors(side))
-        if len(probes) >= 16_000:
-            break
-    return stored, probes
+    return table09_probe_stream(capacity, seed=3)
 
 
 def run_stream(shards: int, stored, probes) -> dict:

@@ -16,6 +16,11 @@ Subcommands:
   Chrome trace-event JSON (open in Perfetto)
 - ``serve-demo``                 -- drive the sharded async CAM service
   with synthetic concurrent traffic (see ``docs/service.md``)
+- ``serve``                      -- put the sharded CAM behind a TCP
+  socket (binary protocol, graceful drain on SIGINT/SIGTERM; see
+  ``docs/networking.md``)
+- ``loadgen``                    -- open/closed-loop load generation
+  against a running ``serve`` instance, emitting a benchmark manifest
 - ``snapshot``                   -- save a seeded demo CAM's content as a
   versioned snapshot (JSON or compact binary)
 - ``restore``                    -- rebuild a CAM from a snapshot file and
@@ -176,6 +181,64 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--manifest-out", default=None, metavar="PATH",
                        help="write a BENCH-style run manifest (JSON)")
 
+    serve_net = sub.add_parser(
+        "serve",
+        help="serve the sharded CAM over TCP (binary wire protocol)",
+    )
+    serve_net.add_argument("--host", default="127.0.0.1")
+    serve_net.add_argument("--port", type=int, default=0,
+                           help="TCP port (0 binds an ephemeral port, "
+                                "printed at startup)")
+    serve_net.add_argument("--shards", type=int, default=4)
+    serve_net.add_argument("--policy",
+                           choices=["hash", "range", "round_robin"],
+                           default="hash")
+    serve_net.add_argument("--engine", choices=["cycle", "batch", "audit"],
+                           default="batch")
+    serve_net.add_argument("--entries-per-shard", type=int, default=512)
+    serve_net.add_argument("--replicas", type=int, default=1)
+    serve_net.add_argument("--max-batch", type=int, default=64)
+    serve_net.add_argument("--max-delay-ms", type=float, default=1.0)
+    serve_net.add_argument("--queue-depth", type=int, default=1024)
+    serve_net.add_argument("--timeout-ms", type=float, default=5000.0,
+                           help="per-request service deadline")
+    serve_net.add_argument("--max-connections", type=int, default=64)
+    serve_net.add_argument("--max-frame-size", type=int,
+                           default=None, metavar="BYTES",
+                           help="per-frame payload cap (default 4 MiB)")
+    serve_net.add_argument("--idle-timeout-s", type=float, default=None,
+                           help="close connections idle this long")
+    serve_net.add_argument("--max-seconds", type=float, default=None,
+                           help="auto-shutdown after this long (CI)")
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive the Table IX probe stream against a CAM server",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--mode", choices=["closed", "open"],
+                         default="closed")
+    loadgen.add_argument("--requests", type=int, default=2000)
+    loadgen.add_argument("--concurrency", type=int, default=16)
+    loadgen.add_argument("--rate", type=float, default=2000.0,
+                         help="open-loop arrival rate (req/s)")
+    loadgen.add_argument("--batch", type=int, default=1,
+                         help="keys per LOOKUP frame")
+    loadgen.add_argument("--pool", type=int, default=1,
+                         help="client connection pool size")
+    loadgen.add_argument("--naive", action="store_true",
+                         help="disable pipelining: one request per "
+                              "round trip (baseline mode)")
+    loadgen.add_argument("--kill-after", type=int, default=None,
+                         metavar="N",
+                         help="sever every connection once after N "
+                              "completed requests (retry/chaos check)")
+    loadgen.add_argument("--seed", type=int, default=3)
+    loadgen.add_argument("--timeout-s", type=float, default=10.0)
+    loadgen.add_argument("--manifest-out", default=None, metavar="PATH",
+                         help="write a BENCH-style run manifest (JSON)")
+
     snapshot = sub.add_parser(
         "snapshot",
         help="build a seeded demo CAM and save its content snapshot",
@@ -206,6 +269,13 @@ def _build_parser() -> argparse.ArgumentParser:
     restore.add_argument("--verify", action="store_true",
                          help="re-snapshot the restored CAM and check the "
                               "content hash round-trips")
+    restore.add_argument("--entries", type=int, default=None,
+                         help="override target entries (default: the "
+                              "geometry recorded in the snapshot)")
+    restore.add_argument("--block-size", type=int, default=None,
+                         help="override target block size")
+    restore.add_argument("--data-width", type=int, default=None,
+                         help="override target data width")
 
     validate = sub.add_parser(
         "validate-manifest",
@@ -546,6 +616,107 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.net import MAX_FRAME_SIZE, CamServer
+    from repro.service import CamService, demo_cam
+
+    cam = demo_cam(
+        entries_per_shard=args.entries_per_shard,
+        shards=args.shards,
+        engine=args.engine,
+        policy=args.policy,
+        replicas=args.replicas,
+    )
+
+    async def _serve() -> int:
+        service = CamService(
+            cam,
+            max_batch=args.max_batch,
+            max_delay_s=args.max_delay_ms / 1e3,
+            queue_depth=args.queue_depth,
+            request_timeout_s=args.timeout_ms / 1e3,
+        )
+        await service.start()
+        server = CamServer(
+            service,
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+            max_frame_size=args.max_frame_size or MAX_FRAME_SIZE,
+            idle_timeout_s=args.idle_timeout_s,
+            request_timeout_s=args.timeout_ms / 1e3,
+        )
+        await server.start()
+        host, port = server.address
+        print(f"serving {cam.engine_name} "
+              f"(capacity {cam.capacity}) on {host}:{port}", flush=True)
+
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        try:
+            if args.max_seconds is not None:
+                try:
+                    await asyncio.wait_for(stop.wait(), args.max_seconds)
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await stop.wait()
+        finally:
+            print("draining...", flush=True)
+            await server.stop()
+            await service.stop()
+        stats = server.stats
+        print(f"served {stats.requests} requests over "
+              f"{stats.connections_opened} connections "
+              f"({stats.decode_errors} decode errors, "
+              f"{stats.retry_later} drained)")
+        return 0
+
+    return asyncio.run(_serve())
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.net import LoadgenSpec, run_loadgen_blocking
+
+    if args.manifest_out:
+        obs.reset()
+        obs.enable()
+    spec = LoadgenSpec(
+        mode=args.mode,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        rate=args.rate,
+        batch=args.batch,
+        pool_size=args.pool,
+        pipelined=not args.naive,
+        kill_after=args.kill_after,
+        seed=args.seed,
+    )
+    print(f"loadgen: {spec.mode} loop against "
+          f"{args.host}:{args.port} "
+          f"({'naive' if args.naive else 'pipelined'}, "
+          f"pool={spec.pool_size})", flush=True)
+    report = run_loadgen_blocking(args.host, args.port, spec,
+                                  request_timeout_s=args.timeout_s)
+    print(report.render())
+    if args.manifest_out:
+        manifest = report.manifest(spec)
+        with open(args.manifest_out, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote manifest to {args.manifest_out}")
+        obs.disable()
+    return 1 if report.errors else 0
+
+
 def _cmd_snapshot(args: argparse.Namespace) -> int:
     import random
 
@@ -576,26 +747,39 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
-def _backend_for_snapshot(snap, engine: Optional[str]):
-    """Rebuild an empty, restore-compatible backend from snapshot meta."""
+def _backend_for_snapshot(snap, engine: Optional[str],
+                          overrides: Optional[dict] = None):
+    """Rebuild an empty, restore-compatible backend from snapshot meta.
+
+    ``overrides`` maps ``entries``/``block_size``/``data_width`` to
+    explicit target geometry, replacing the values recorded in the
+    snapshot (used to demonstrate and test config-mismatch failures).
+    """
     from repro.core import Encoding, ReferenceCam
     from repro.service import ShardedCam
 
+    overrides = overrides or {}
+
+    def geometry(meta: dict):
+        return unit_for_entries(
+            int(overrides.get("entries") or meta["total_entries"]),
+            block_size=int(overrides.get("block_size")
+                           or meta["block_size"]),
+            data_width=int(overrides.get("data_width")
+                           or meta["data_width"]),
+            bus_width=int(meta["bus_width"]),
+            cam_type=CamType(meta["cam_type"]),
+            encoding=Encoding(meta["encoding"]),
+        )
+
     if snap.kind == "reference":
-        return ReferenceCam(int(snap.meta["capacity"]),
+        capacity = int(overrides.get("entries") or snap.meta["capacity"])
+        return ReferenceCam(capacity,
                             encoding=Encoding(snap.meta["encoding"]))
     if snap.kind == "sharded":
         child = snap.children[0].meta
-        config = unit_for_entries(
-            int(child["total_entries"]),
-            block_size=int(child["block_size"]),
-            data_width=int(child["data_width"]),
-            bus_width=int(child["bus_width"]),
-            cam_type=CamType(child["cam_type"]),
-            encoding=Encoding(child["encoding"]),
-        )
         return ShardedCam(
-            config,
+            geometry(child),
             shards=int(snap.meta["shards"]),
             policy=snap.meta.get("policy", "hash"),
             engine=engine or child.get("engine", "batch"),
@@ -603,22 +787,39 @@ def _backend_for_snapshot(snap, engine: Optional[str]):
         )
     if snap.kind == "unit":
         meta = snap.meta
-        config = unit_for_entries(
-            int(meta["total_entries"]),
-            block_size=int(meta["block_size"]),
-            data_width=int(meta["data_width"]),
-            bus_width=int(meta["bus_width"]),
-            cam_type=CamType(meta["cam_type"]),
-            encoding=Encoding(meta["encoding"]),
-        )
-        return open_session(config, engine or meta.get("engine", "batch"))
+        return open_session(geometry(meta),
+                            engine or meta.get("engine", "batch"))
     raise ReproError(
         f"cannot rebuild a {snap.kind!r} CAM from the CLI; construct the "
         "session programmatically and call restore()"
     )
 
 
+def _snapshot_geometry_line(snap) -> str:
+    """One ``key=value`` summary of the geometry a snapshot captured."""
+    meta = snap.children[0].meta if snap.kind == "sharded" else snap.meta
+    if snap.kind == "reference":
+        return f"kind=reference capacity={meta.get('capacity')}"
+    return (f"kind={snap.kind} entries={meta.get('total_entries')} "
+            f"block_size={meta.get('block_size')} "
+            f"data_width={meta.get('data_width')} "
+            f"cam_type={meta.get('cam_type')}")
+
+
+def _target_geometry_line(cam) -> str:
+    """One ``key=value`` summary of the CAM a restore targeted."""
+    config = getattr(cam, "config", None)
+    if config is None:
+        return f"kind=reference capacity={cam.capacity}"
+    kind = "sharded" if hasattr(cam, "num_shards") else "unit"
+    return (f"kind={kind} entries={config.total_entries} "
+            f"block_size={config.block.block_size} "
+            f"data_width={config.data_width} "
+            f"cam_type={config.block.cell.cam_type.value}")
+
+
 def _cmd_restore(args: argparse.Namespace) -> int:
+    from repro.errors import SnapshotError
     from repro.service import CamSnapshot
 
     try:
@@ -626,9 +827,23 @@ def _cmd_restore(args: argparse.Namespace) -> int:
     except OSError as error:
         print(f"error: cannot read {args.path}: {error}", file=sys.stderr)
         return 1
+    except SnapshotError as error:
+        print(f"error: cannot decode {args.path}: {error}", file=sys.stderr)
+        return 1
     print(f"loaded {args.path}: {snap.describe()}")
-    cam = _backend_for_snapshot(snap, args.engine)
-    cam.restore(snap)
+    overrides = {"entries": args.entries, "block_size": args.block_size,
+                 "data_width": args.data_width}
+    cam = _backend_for_snapshot(snap, args.engine, overrides)
+    try:
+        cam.restore(snap)
+    except SnapshotError as error:
+        print(
+            "error: snapshot/config mismatch: "
+            f"snapshot[{_snapshot_geometry_line(snap)}] vs "
+            f"target[{_target_geometry_line(cam)}]: {error}",
+            file=sys.stderr,
+        )
+        return 1
     print(f"restored into {cam.engine_name}: "
           f"{cam.occupancy}/{cam.capacity} entries")
     if args.verify:
@@ -693,6 +908,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_trace(args.out, args.engine, args.sample)
         if args.command == "serve-demo":
             return _cmd_serve_demo(args)
+        if args.command == "serve":
+            return _cmd_serve_net(args)
+        if args.command == "loadgen":
+            return _cmd_loadgen(args)
         if args.command == "snapshot":
             return _cmd_snapshot(args)
         if args.command == "restore":

@@ -27,8 +27,8 @@ against the simulator by the differential test suite
 - ``reset`` and ``set_groups`` cost ``update_latency + 2`` cycles
   (the fixed flush window :class:`CamSession` waits out).
 
-Three engines are exposed through ``CamSession(config, engine=...)``
-or :func:`open_session`:
+Three engines are exposed through :func:`open_session` (the legacy
+``CamSession(config, engine=...)`` spelling is deprecated):
 
 - ``"cycle"``  -- the register-accurate simulator (default),
 - ``"batch"``  -- this module's vectorized fast path,

@@ -88,6 +88,15 @@ class ServiceOverloadError(ServiceError):
     reject-on-overflow mode (backpressure surfaced to the caller)."""
 
 
+class ServiceDrainingError(ServiceError):
+    """The service is draining for shutdown and admits no new requests.
+
+    In-flight requests complete normally; callers that see this error
+    should retry against another instance (the network layer maps it
+    onto a ``RETRY_LATER`` error frame).
+    """
+
+
 class ReplicaExhaustedError(ServiceError):
     """Every replica of a replica set has failed.
 
@@ -105,6 +114,33 @@ class SnapshotError(ReproError):
     restoring a snapshot into a backend whose configuration (width, CAM
     type, group structure, capacity) cannot reproduce the captured
     state bit-identically.
+    """
+
+
+class NetError(ReproError):
+    """Base class for network-layer failures (:mod:`repro.net`)."""
+
+
+class ProtocolError(NetError):
+    """A wire frame violates the ``repro.net`` binary protocol.
+
+    Covers bad magic, unsupported protocol versions, CRC mismatches,
+    unknown opcodes and malformed payloads. A server that hits this on
+    a connection answers with a structured error frame and closes the
+    connection -- the stream offset can no longer be trusted.
+    """
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame declares a payload above the configured size limit."""
+
+
+class ConnectionLostError(NetError):
+    """The peer vanished mid-conversation.
+
+    Raised into every response future still pending on the connection;
+    the pipelined client treats it as retryable (idempotency tokens
+    make mutating retries exactly-once on the server).
     """
 
 

@@ -1,0 +1,390 @@
+"""Pipelined network client for the CAM server.
+
+:class:`CamClient` multiplexes concurrent requests over a small pool
+of TCP connections: every request gets a connection-local request id,
+the frame is written immediately (no lock-step request/response), and
+a reader task per connection resolves the matching future when the
+response arrives -- so hundreds of requests can be in flight at once
+over one socket, which is what buys the >= 5x throughput over a naive
+one-request-per-round-trip client (``benchmarks/
+bench_net_throughput.py``).
+
+Failure handling:
+
+- **connection loss** -- every future pending on the dead connection
+  fails with :class:`~repro.errors.ConnectionLostError`; the request
+  layer reconnects and retries with exponential backoff up to
+  ``max_retries`` times. Mutations reuse their idempotency token on
+  every attempt, so a retry the server already applied is answered
+  from its dedupe cache -- exactly-once, zero lost or duplicated
+  updates;
+- **server drain** -- ``RETRY_LATER`` error frames are retried the
+  same way (the server is restarting or handing off);
+- **timeouts** -- a response not seen within ``request_timeout_s``
+  fails the attempt with
+  :class:`~repro.errors.RequestTimeoutError` and is retried
+  (idempotency makes this safe for mutations too).
+
+Responses are surfaced as the *same*
+:class:`~repro.service.scheduler.ServiceResponse` dataclass the
+in-process service returns, rebuilt bit-identically from the wire
+(raw match vectors travel whole), so code written against
+:class:`CamService` ports to the network client by changing only the
+constructor -- and the equivalence suite can diff the two paths
+directly.
+
+Set ``pipelined=False`` for the deliberately naive baseline: one
+request per round trip per connection (used by the benchmark and the
+loadgen's closed-loop baseline mode).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.core.session import UpdateStats
+from repro.core.types import SearchResult
+from repro.errors import (
+    ConfigError,
+    ConnectionLostError,
+    NetError,
+    ProtocolError,
+    RequestTimeoutError,
+    ServiceDrainingError,
+    ServiceOverloadError,
+)
+from repro.net import protocol
+from repro.net.protocol import Frame, FrameDecoder, Opcode
+from repro.service.scheduler import ServiceResponse
+from repro.service.snapshot import CamSnapshot
+
+_READ_CHUNK = 64 * 1024
+
+#: Errors that mark an *attempt* as failed but the request retryable.
+_RETRYABLE = (ConnectionLostError, RequestTimeoutError,
+              ServiceDrainingError, ServiceOverloadError)
+
+
+class _Connection:
+    """One pooled socket plus its demultiplexing reader task."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame_size: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder(max_frame_size=max_frame_size)
+        self.pending: Dict[int, "asyncio.Future[Frame]"] = {}
+        self.ids = itertools.count(1)
+        self.task: Optional[asyncio.Task] = None
+        self.closed = False
+
+    def fail_all(self, exc: BaseException) -> None:
+        for future in self.pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self.pending.clear()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self.writer.close()
+        except (ConnectionError, OSError, RuntimeError):
+            pass
+        self.fail_all(ConnectionLostError("connection closed"))
+
+
+class CamClient:
+    """Connection-pooled, pipelined client for :class:`CamServer`.
+
+    ::
+
+        async with CamClient(host, port, pool_size=2) as client:
+            await client.insert([7, 42, 99])
+            response = await client.lookup(42)
+            assert response.result.hit
+
+    Thread-unsafe by design (one event loop); share by task, not by
+    thread.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 1,
+        pipelined: bool = True,
+        request_timeout_s: float = 10.0,
+        max_retries: int = 3,
+        backoff_s: float = 0.02,
+        backoff_max_s: float = 0.5,
+        max_frame_size: int = protocol.MAX_FRAME_SIZE,
+    ) -> None:
+        if pool_size < 1:
+            raise ConfigError(f"pool_size must be >= 1, got {pool_size}")
+        if request_timeout_s <= 0:
+            raise ConfigError(
+                f"request_timeout_s must be > 0, got {request_timeout_s}"
+            )
+        if max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {max_retries}"
+            )
+        if backoff_s <= 0 or backoff_max_s < backoff_s:
+            raise ConfigError(
+                "backoff must satisfy 0 < backoff_s <= backoff_max_s, "
+                f"got {backoff_s} / {backoff_max_s}"
+            )
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.pipelined = pipelined
+        self.request_timeout_s = request_timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
+        self.max_frame_size = max_frame_size
+        self.retries = 0
+        self.kills = 0
+        self._pool: List[Optional[_Connection]] = [None] * pool_size
+        self._turn = itertools.count()
+        self._serial = asyncio.Lock() if not pipelined else None
+        self._closed = False
+        self._reader_tasks: set = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def connect(self) -> None:
+        """Eagerly open every pooled connection (optional; requests
+        open lazily on demand)."""
+        for index in range(self.pool_size):
+            await self._connection(index)
+
+    async def close(self) -> None:
+        self._closed = True
+        for conn in self._pool:
+            if conn is not None:
+                conn.close()
+        # Reap every reader task ever started, including those whose
+        # connection was killed and replaced mid-run.
+        for task in list(self._reader_tasks):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(*self._reader_tasks,
+                                 return_exceptions=True)
+        self._reader_tasks.clear()
+        self._pool = [None] * self.pool_size
+
+    async def __aenter__(self) -> "CamClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def kill_connections(self) -> None:
+        """Abruptly sever every open connection (fault injection for
+        tests and the loadgen's ``--kill-after`` chaos knob); the next
+        request transparently reconnects and retries."""
+        self.kills += 1
+        for conn in self._pool:
+            if conn is not None:
+                conn.close()
+
+    # ------------------------------------------------------------------
+    # public request API
+    # ------------------------------------------------------------------
+    async def lookup(self, key: int) -> ServiceResponse:
+        """Search one key (see :meth:`lookup_many` for batches)."""
+        return (await self.lookup_many([key]))[0]
+
+    async def lookup_many(self, keys: Sequence[int]) -> List[ServiceResponse]:
+        """Search a batch of keys carried in one frame."""
+        frame = await self._request(
+            Opcode.LOOKUP, protocol.encode_lookup([int(k) for k in keys])
+        )
+        return [
+            ServiceResponse(kind="lookup", status=status, result=result)
+            for status, result in self._expect_results(frame, len(keys))
+        ]
+
+    async def insert(self, words: Sequence[int]) -> ServiceResponse:
+        """Store a batch of words; exactly-once across retries."""
+        payload = protocol.encode_mutation(
+            os.urandom(protocol.TOKEN_SIZE), [int(w) for w in words]
+        )
+        frame = await self._request(Opcode.INSERT, payload)
+        if frame.opcode is not Opcode.UPDATED:
+            raise ProtocolError(
+                f"expected UPDATED, got {frame.opcode.name}"
+            )
+        status, stats = protocol.decode_update_ack(frame.payload)
+        return ServiceResponse(kind="insert", status=status, stats=stats)
+
+    async def delete(self, key: int) -> ServiceResponse:
+        """Delete-by-content; exactly-once across retries."""
+        payload = protocol.encode_mutation(
+            os.urandom(protocol.TOKEN_SIZE), [int(key)]
+        )
+        frame = await self._request(Opcode.DELETE, payload)
+        status, result = self._expect_results(frame, 1)[0]
+        return ServiceResponse(kind="delete", status=status, result=result)
+
+    async def ping(self, payload: bytes = b"") -> float:
+        """Round-trip a PING; returns the wall-clock RTT in seconds."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        frame = await self._request(Opcode.PING, payload)
+        if frame.opcode is not Opcode.PONG or frame.payload != payload:
+            raise ProtocolError("PONG payload mismatch")
+        return loop.time() - started
+
+    async def stats(self) -> dict:
+        """The server's stats document (server/service/cam sections)."""
+        frame = await self._request(Opcode.STATS, b"")
+        if frame.opcode is not Opcode.STATS_DATA:
+            raise ProtocolError(
+                f"expected STATS_DATA, got {frame.opcode.name}"
+            )
+        return protocol.decode_stats(frame.payload)
+
+    async def snapshot(self) -> CamSnapshot:
+        """The server CAM's full content snapshot (binary codec)."""
+        frame = await self._request(Opcode.SNAPSHOT, b"")
+        if frame.opcode is not Opcode.SNAPSHOT_DATA:
+            raise ProtocolError(
+                f"expected SNAPSHOT_DATA, got {frame.opcode.name}"
+            )
+        return CamSnapshot.from_binary(frame.payload)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _expect_results(
+        self, frame: Frame, count: int
+    ) -> List[Tuple[str, SearchResult]]:
+        if frame.opcode is not Opcode.RESULT:
+            raise ProtocolError(
+                f"expected RESULT, got {frame.opcode.name}"
+            )
+        results = protocol.decode_results(frame.payload)
+        if len(results) != count:
+            raise ProtocolError(
+                f"RESULT carries {len(results)} entries, expected {count}"
+            )
+        return results
+
+    async def _connection(self, index: int) -> _Connection:
+        conn = self._pool[index]
+        if conn is not None and not conn.closed:
+            return conn
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        conn = _Connection(reader, writer, self.max_frame_size)
+        conn.task = asyncio.ensure_future(self._reader_loop(conn))
+        self._reader_tasks.add(conn.task)
+        conn.task.add_done_callback(self._reader_tasks.discard)
+        self._pool[index] = conn
+        return conn
+
+    async def _reader_loop(self, conn: _Connection) -> None:
+        while True:
+            try:
+                data = await conn.reader.read(_READ_CHUNK)
+            except (ConnectionError, OSError):
+                data = b""
+            if not data:
+                conn.fail_all(ConnectionLostError(
+                    f"server {self.host}:{self.port} closed the connection"
+                ))
+                conn.close()
+                return
+            try:
+                frames = conn.decoder.feed(data)
+            except ProtocolError as exc:
+                conn.fail_all(exc)
+                conn.close()
+                return
+            for frame in frames:
+                future = conn.pending.pop(frame.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+                # Unmatched ids: a response for an attempt we already
+                # abandoned (timed out and retried) -- drop it.
+
+    async def _request(self, opcode: Opcode, payload: bytes) -> Frame:
+        """Send one request with retry-with-backoff; returns the
+        response frame (ERROR frames are raised as their mapped
+        exception)."""
+        if self._closed:
+            raise NetError("client is closed")
+        if self._serial is not None:
+            async with self._serial:
+                return await self._request_with_retries(opcode, payload)
+        return await self._request_with_retries(opcode, payload)
+
+    async def _request_with_retries(self, opcode: Opcode,
+                                    payload: bytes) -> Frame:
+        delay = self.backoff_s
+        last: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt:
+                self.retries += 1
+                obs.inc("net_client_retries_total",
+                        help="request attempts after the first",
+                        opcode=opcode.name.lower())
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, self.backoff_max_s)
+            try:
+                return await self._attempt(opcode, payload)
+            except _RETRYABLE as exc:
+                last = exc
+                continue
+        raise NetError(
+            f"{opcode.name} failed after {self.max_retries + 1} attempts: "
+            f"{last}"
+        ) from last
+
+    async def _attempt(self, opcode: Opcode, payload: bytes) -> Frame:
+        index = next(self._turn) % self.pool_size
+        try:
+            conn = await self._connection(index)
+        except (ConnectionError, OSError) as exc:
+            raise ConnectionLostError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        request_id = next(conn.ids) & 0xFFFFFFFF
+        future: "asyncio.Future[Frame]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        conn.pending[request_id] = future
+        blob = protocol.encode_frame(opcode, request_id, payload)
+        try:
+            conn.writer.write(blob)
+            await conn.writer.drain()
+        except (ConnectionError, OSError) as exc:
+            conn.pending.pop(request_id, None)
+            conn.close()
+            raise ConnectionLostError(str(exc)) from exc
+        try:
+            frame = await asyncio.wait_for(future, self.request_timeout_s)
+        except asyncio.TimeoutError:
+            conn.pending.pop(request_id, None)
+            raise RequestTimeoutError(
+                f"no response to {opcode.name} within "
+                f"{self.request_timeout_s}s"
+            ) from None
+        if frame.opcode is Opcode.ERROR:
+            code, message = protocol.decode_error(frame.payload)
+            raise protocol.exception_for(code, message)
+        return frame
+
+
+__all__ = ["CamClient"]

@@ -1,0 +1,525 @@
+"""Asyncio TCP server exposing a :class:`CamService` over the wire.
+
+:class:`CamServer` is the socket front door of the reproduction: it
+accepts connections, decodes :mod:`repro.net.protocol` frames
+incrementally, executes each request against the wrapped
+:class:`~repro.service.scheduler.CamService` (batch frames fan out to
+concurrent service calls) and streams responses back through a
+per-connection writer task -- requests from one connection are served
+*pipelined*, never lock-step.
+
+Operational guarantees:
+
+- **bounded intake** -- at most ``max_connections`` concurrent
+  connections (excess ones receive an ``OVERLOADED`` error frame and
+  are closed) and at most ``max_frame_size`` payload bytes per frame
+  (violations answer ``FRAME_TOO_LARGE`` and close the connection);
+- **timeouts** -- a connection idle longer than ``idle_timeout_s`` is
+  closed; a request older than ``request_timeout_s`` resolves as a
+  ``TIMEOUT`` error frame (the service's own deadline machinery keeps
+  the backend safe independently);
+- **graceful drain** -- :meth:`stop` stops accepting, lets in-flight
+  requests complete and answers frames that arrive during the drain
+  window with ``RETRY_LATER``, so a restarting client loses nothing;
+- **exactly-once mutations** -- INSERT/DELETE frames carry idempotency
+  tokens; the server caches token -> response and answers a retried
+  token from the cache without re-applying the mutation.
+
+Telemetry is threaded through :mod:`repro.obs` under ``net_*`` names
+(frames and bytes per direction, decode errors, connection churn,
+request latency) with an always-on :class:`ServerStats` mirror.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro import obs
+from repro.errors import (
+    ConfigError,
+    NetError,
+    ProtocolError,
+    ReproError,
+    RequestTimeoutError,
+)
+from repro.net import protocol
+from repro.net.protocol import ErrorCode, Frame, FrameDecoder, Opcode
+from repro.service.scheduler import CamService
+
+_READ_CHUNK = 64 * 1024
+
+
+@dataclass
+class ServerStats:
+    """Always-on counters mirrored outside the obs registry."""
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    connections_rejected: int = 0
+    idle_closed: int = 0
+    frames_in: int = 0
+    frames_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    decode_errors: int = 0
+    requests: int = 0
+    errors_sent: int = 0
+    retry_later: int = 0
+    dedupe_hits: int = 0
+    per_opcode: Dict[str, int] = field(default_factory=dict)
+
+    def count_opcode(self, opcode: Opcode) -> None:
+        name = opcode.name.lower()
+        self.per_opcode[name] = self.per_opcode.get(name, 0) + 1
+
+
+class _Connection:
+    """Per-connection state: decoder, writer queue, in-flight tasks."""
+
+    __slots__ = ("reader", "writer", "decoder", "outgoing", "tasks",
+                 "peer", "closed")
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter,
+                 max_frame_size: int) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder(max_frame_size=max_frame_size)
+        self.outgoing: "asyncio.Queue[Optional[bytes]]" = asyncio.Queue()
+        self.tasks: Set[asyncio.Task] = set()
+        peer = writer.get_extra_info("peername")
+        self.peer = f"{peer[0]}:{peer[1]}" if peer else "?"
+        self.closed = False
+
+
+class CamServer:
+    """TCP front end for a :class:`CamService`.
+
+    Use as an async context manager (binds on enter, drains and closes
+    on exit)::
+
+        cam = repro.open_session(config, engine="batch", shards=4)
+        async with CamService(cam) as service:
+            async with CamServer(service, port=0) as server:
+                host, port = server.address
+                ...
+
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        service: CamService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        max_frame_size: int = protocol.MAX_FRAME_SIZE,
+        idle_timeout_s: Optional[float] = None,
+        request_timeout_s: Optional[float] = None,
+        dedupe_capacity: int = 65536,
+    ) -> None:
+        if max_connections < 1:
+            raise ConfigError(
+                f"max_connections must be >= 1, got {max_connections}"
+            )
+        if idle_timeout_s is not None and idle_timeout_s <= 0:
+            raise ConfigError(
+                f"idle_timeout_s must be > 0, got {idle_timeout_s}"
+            )
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ConfigError(
+                f"request_timeout_s must be > 0, got {request_timeout_s}"
+            )
+        if dedupe_capacity < 1:
+            raise ConfigError(
+                f"dedupe_capacity must be >= 1, got {dedupe_capacity}"
+            )
+        self.service = service
+        self.host = host
+        self.port = port
+        self.max_connections = max_connections
+        self.max_frame_size = max_frame_size
+        self.idle_timeout_s = idle_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self.dedupe_capacity = dedupe_capacity
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[_Connection] = set()
+        self._dedupe: "OrderedDict[bytes, Tuple[int, bytes]]" = OrderedDict()
+        self._dedupe_pending: Dict[bytes, "asyncio.Task"] = {}
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            raise NetError("server already started")
+        self._draining = False
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        socket = self._server.sockets[0]
+        self.host, self.port = socket.getsockname()[:2]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolved after :meth:`start`)."""
+        return self.host, self.port
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def active_connections(self) -> int:
+        return len(self._connections)
+
+    async def drain(self) -> None:
+        """Complete in-flight requests; new ones get ``RETRY_LATER``.
+
+        Closes the listening socket first so no fresh connection can
+        sneak work in, then drains the wrapped service (its admission
+        gate starts refusing instantly) and finally waits for every
+        per-frame handler task to flush its response.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.service.drain()
+        pending = [task for conn in self._connections
+                   for task in list(conn.tasks)]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain, flush writers, close connections."""
+        if self._server is None and not self._connections:
+            return
+        await self.drain()
+        for conn in list(self._connections):
+            await conn.outgoing.put(None)  # writer flushes then exits
+        # Writers pop the sentinel, flush, and close their transport;
+        # _close_connection drops them from the set.
+        while self._connections:
+            await asyncio.sleep(0.005)
+        self._server = None
+
+    async def __aenter__(self) -> "CamServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(reader, writer, self.max_frame_size)
+        if self._draining or len(self._connections) >= self.max_connections:
+            code = (ErrorCode.RETRY_LATER if self._draining
+                    else ErrorCode.OVERLOADED)
+            reason = ("server is draining" if self._draining
+                      else f"server at its {self.max_connections}-"
+                           "connection limit")
+            self.stats.connections_rejected += 1
+            obs.inc("net_connections_total",
+                    help="connection lifecycle events by kind",
+                    event="rejected")
+            frame = protocol.encode_frame(
+                Opcode.ERROR, 0, protocol.encode_error(code, reason)
+            )
+            try:
+                writer.write(frame)
+                await writer.drain()
+                writer.close()
+            except (ConnectionError, OSError):
+                pass
+            return
+        self._connections.add(conn)
+        self.stats.connections_opened += 1
+        obs.inc("net_connections_total", event="opened")
+        obs.set_gauge("net_connections_active", len(self._connections),
+                      help="currently open client connections")
+        writer_task = asyncio.ensure_future(self._writer_loop(conn))
+        try:
+            await self._reader_loop(conn)
+        finally:
+            await conn.outgoing.put(None)
+            await writer_task
+            self._close_connection(conn)
+
+    def _close_connection(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._connections.discard(conn)
+        self.stats.connections_closed += 1
+        obs.inc("net_connections_total", event="closed")
+        obs.set_gauge("net_connections_active", len(self._connections))
+        try:
+            conn.writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+    async def _reader_loop(self, conn: _Connection) -> None:
+        while True:
+            try:
+                if self.idle_timeout_s is not None:
+                    data = await asyncio.wait_for(
+                        conn.reader.read(_READ_CHUNK), self.idle_timeout_s
+                    )
+                else:
+                    data = await conn.reader.read(_READ_CHUNK)
+            except asyncio.TimeoutError:
+                self.stats.idle_closed += 1
+                obs.inc("net_connections_total", event="idle_closed")
+                return
+            except (ConnectionError, OSError):
+                return
+            if not data:
+                return  # peer closed
+            self.stats.bytes_in += len(data)
+            obs.inc("net_bytes_total", len(data),
+                    help="wire bytes by direction", direction="in")
+            try:
+                frames = conn.decoder.feed(data)
+            except ProtocolError as exc:
+                # The stream offset is untrustworthy after a framing
+                # error: answer once, then hang up.
+                self.stats.decode_errors += 1
+                obs.inc("net_decode_errors_total",
+                        help="frames rejected by the decoder")
+                self._send_error(conn, 0, exc)
+                return
+            for frame in frames:
+                self.stats.frames_in += 1
+                obs.inc("net_frames_total",
+                        help="frames by direction", direction="in")
+                self._dispatch(conn, frame)
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        while True:
+            blob = await conn.outgoing.get()
+            if blob is None:
+                break
+            try:
+                conn.writer.write(blob)
+                await conn.writer.drain()
+            except (ConnectionError, OSError):
+                break
+            self.stats.frames_out += 1
+            self.stats.bytes_out += len(blob)
+            obs.inc("net_frames_total", direction="out")
+            obs.inc("net_bytes_total", len(blob), direction="out")
+        self._close_connection(conn)
+
+    # ------------------------------------------------------------------
+    # request dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, conn: _Connection, frame: Frame) -> None:
+        if not frame.opcode.is_request:
+            self._send_error(conn, frame.request_id, ProtocolError(
+                f"{frame.opcode.name} is a response opcode; clients send "
+                "requests only"
+            ))
+            return
+        task = asyncio.ensure_future(self._handle(conn, frame))
+        conn.tasks.add(task)
+        task.add_done_callback(conn.tasks.discard)
+
+    async def _handle(self, conn: _Connection, frame: Frame) -> None:
+        self.stats.requests += 1
+        self.stats.count_opcode(frame.opcode)
+        started = time.perf_counter()
+        status = "ok"
+        try:
+            if self.request_timeout_s is not None:
+                await asyncio.wait_for(
+                    self._execute(conn, frame), self.request_timeout_s
+                )
+            else:
+                await self._execute(conn, frame)
+        except asyncio.TimeoutError:
+            status = "timeout"
+            self._send_error(conn, frame.request_id, RequestTimeoutError(
+                f"request exceeded the server's "
+                f"{self.request_timeout_s}s deadline"
+            ))
+        except ReproError as exc:
+            status = "error"
+            self._send_error(conn, frame.request_id, exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            status = "error"
+            self._send_error(conn, frame.request_id, exc)
+        obs.inc("net_requests_total", help="requests by opcode and outcome",
+                opcode=frame.opcode.name.lower(), status=status)
+        obs.observe("net_request_latency_seconds",
+                    time.perf_counter() - started,
+                    help="server-side request latency",
+                    buckets=obs.SECONDS_BUCKETS,
+                    opcode=frame.opcode.name.lower())
+
+    async def _execute(self, conn: _Connection, frame: Frame) -> None:
+        opcode = frame.opcode
+        if opcode is Opcode.PING:
+            self._send(conn, Opcode.PONG, frame.request_id, frame.payload)
+        elif opcode is Opcode.LOOKUP:
+            keys = protocol.decode_lookup(frame.payload)
+            responses = await asyncio.gather(*[
+                self.service.lookup(key) for key in keys
+            ])
+            payload = protocol.encode_results([
+                (response.status, response.result)
+                for response in responses
+            ])
+            self._send(conn, Opcode.RESULT, frame.request_id, payload)
+        elif opcode is Opcode.INSERT:
+            token, words = protocol.decode_mutation(frame.payload)
+
+            async def apply_insert() -> Tuple[int, bytes]:
+                response = await self.service.insert(words)
+                return int(Opcode.UPDATED), protocol.encode_update_ack(
+                    response.status, response.stats
+                )
+
+            out, payload = await self._mutate_once(token, apply_insert)
+            self._send(conn, Opcode(out), frame.request_id, payload)
+        elif opcode is Opcode.DELETE:
+            token, keys = protocol.decode_mutation(frame.payload)
+
+            async def apply_delete() -> Tuple[int, bytes]:
+                responses = [await self.service.delete(key)
+                             for key in keys]
+                return int(Opcode.RESULT), protocol.encode_results([
+                    (response.status, response.result)
+                    for response in responses
+                ])
+
+            out, payload = await self._mutate_once(token, apply_delete)
+            self._send(conn, Opcode(out), frame.request_id, payload)
+        elif opcode is Opcode.SNAPSHOT:
+            blob = self.service.cam.snapshot().to_binary()
+            if len(blob) > self.max_frame_size:
+                raise ProtocolError(
+                    f"snapshot of {len(blob)} bytes exceeds the "
+                    f"{self.max_frame_size}-byte frame limit"
+                )
+            self._send(conn, Opcode.SNAPSHOT_DATA, frame.request_id, blob)
+        elif opcode is Opcode.STATS:
+            self._send(conn, Opcode.STATS_DATA, frame.request_id,
+                       protocol.encode_stats(self._stats_doc()))
+        else:  # pragma: no cover - is_request filtered already
+            raise ProtocolError(f"unhandled opcode {opcode!r}")
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _send(self, conn: _Connection, opcode: Opcode, request_id: int,
+              payload: bytes) -> None:
+        conn.outgoing.put_nowait(
+            protocol.encode_frame(opcode, request_id, payload)
+        )
+
+    def _send_error(self, conn: _Connection, request_id: int,
+                    exc: BaseException) -> None:
+        code = protocol.error_code_for(exc)
+        self.stats.errors_sent += 1
+        if code is ErrorCode.RETRY_LATER:
+            self.stats.retry_later += 1
+        obs.inc("net_errors_sent_total",
+                help="error frames by code", code=code.name.lower())
+        self._send(conn, Opcode.ERROR, request_id,
+                   protocol.encode_error(code, str(exc)))
+
+    async def _mutate_once(self, token: bytes, apply) -> Tuple[int, bytes]:
+        """Run ``apply`` exactly once per idempotency token.
+
+        A retried token is answered from the completed-response cache;
+        a token whose first attempt is *still executing* (a retry
+        racing its original on another connection) awaits that same
+        execution instead of re-applying the mutation.
+        """
+        cached = self._dedupe_get(token)
+        if cached is not None:
+            return cached
+        key = bytes(token)
+        task = self._dedupe_pending.get(key)
+        if task is None:
+            task = asyncio.ensure_future(apply())
+            self._dedupe_pending[key] = task
+            try:
+                result = await task
+            finally:
+                del self._dedupe_pending[key]
+            self._dedupe_put(token, Opcode(result[0]), result[1])
+            return result
+        self.stats.dedupe_hits += 1
+        obs.inc("net_dedupe_hits_total",
+                help="mutations answered from the idempotency cache")
+        return await asyncio.shield(task)
+
+    def _dedupe_get(self, token: bytes) -> Optional[Tuple[int, bytes]]:
+        cached = self._dedupe.get(bytes(token))
+        if cached is not None:
+            self.stats.dedupe_hits += 1
+            obs.inc("net_dedupe_hits_total",
+                    help="mutations answered from the idempotency cache")
+        return cached
+
+    def _dedupe_put(self, token: bytes, opcode: Opcode,
+                    payload: bytes) -> None:
+        self._dedupe[bytes(token)] = (int(opcode), payload)
+        while len(self._dedupe) > self.dedupe_capacity:
+            self._dedupe.popitem(last=False)
+
+    def _stats_doc(self) -> dict:
+        cam = self.service.cam
+        service = self.service.stats
+        return {
+            "server": {
+                "connections_active": len(self._connections),
+                "connections_opened": self.stats.connections_opened,
+                "connections_rejected": self.stats.connections_rejected,
+                "frames_in": self.stats.frames_in,
+                "frames_out": self.stats.frames_out,
+                "bytes_in": self.stats.bytes_in,
+                "bytes_out": self.stats.bytes_out,
+                "decode_errors": self.stats.decode_errors,
+                "requests": self.stats.requests,
+                "retry_later": self.stats.retry_later,
+                "dedupe_hits": self.stats.dedupe_hits,
+                "draining": self._draining,
+                "per_opcode": dict(self.stats.per_opcode),
+            },
+            "service": {
+                "admitted": service.admitted,
+                "completed": service.completed,
+                "ok": service.ok,
+                "timeouts": service.timeouts,
+                "shard_failures": service.shard_failures,
+                "client_errors": service.client_errors,
+                "rejected": service.rejected,
+                "mean_batch_occupancy": service.mean_batch_occupancy,
+            },
+            "cam": {
+                "engine": cam.engine_name,
+                "shards": cam.num_shards,
+                "capacity": cam.capacity,
+                "occupancy": cam.occupancy,
+                "cycle": cam.cycle,
+                "poisoned_shards": list(cam.poisoned_shards),
+            },
+        }
+
+
+__all__ = ["CamServer", "ServerStats"]

@@ -44,11 +44,28 @@ def _label_key(labels: Dict[str, object]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format:
+    backslash, double quote and newline must be ``\\\\``, ``\\"`` and
+    ``\\n`` respectively (backslash first, or it would re-escape the
+    escapes)."""
+    return (value.replace("\\", "\\\\")
+                 .replace('"', '\\"')
+                 .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP lines escape only backslash and newline (quotes are
+    legal there)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(key: LabelKey, extra: Sequence[Tuple[str, str]] = ()) -> str:
     pairs = list(key) + list(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    body = ",".join(f'{name}="{_escape_label_value(value)}"'
+                    for name, value in pairs)
     return "{" + body + "}"
 
 
@@ -338,7 +355,9 @@ class MetricsRegistry:
         ]
         for metric in self:
             if metric.help:
-                lines.append(f"# HELP {metric.name} {metric.help}")
+                lines.append(
+                    f"# HELP {metric.name} {_escape_help(metric.help)}"
+                )
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             if isinstance(metric, Histogram):
                 for key in metric.label_sets():

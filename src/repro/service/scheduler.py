@@ -47,6 +47,7 @@ from repro.errors import (
     ConfigError,
     MaskError,
     RoutingError,
+    ServiceDrainingError,
     ServiceError,
     ServiceOverloadError,
     ShardFailedError,
@@ -117,7 +118,7 @@ class _Request:
 
     __slots__ = ("kind", "key", "words", "parts", "future", "deadline",
                  "admitted_t", "pending", "partials", "stats", "shards",
-                 "degraded")
+                 "degraded", "finished")
 
     def __init__(self, kind: str, *, key: int = 0,
                  words: Optional[List[RawWord]] = None,
@@ -142,6 +143,10 @@ class _Request:
         self.shards: List[int] = []
         #: detail of the first poisoned-shard degradation, if any.
         self.degraded: Optional[str] = None
+        #: set by the first _finish; the future's own done() cannot be
+        #: used (a caller cancelling its await marks the future done
+        #: while the request is still in flight here).
+        self.finished = False
 
 
 class CamService:
@@ -206,6 +211,9 @@ class CamService:
         self._shard_queues: List[asyncio.Queue] = []
         self._tasks: List[asyncio.Task] = []
         self._running = False
+        self._draining = False
+        self._inflight = 0
+        self._idle: Optional[asyncio.Event] = None
         #: shard -> (next attempt time, current backoff delay).
         self._repair_schedule: Dict[int, Tuple[float, float]] = {}
 
@@ -224,6 +232,10 @@ class CamService:
             for shard in range(self.cam.num_shards)
         ]
         self._running = True
+        self._draining = False
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
         if self.auto_repair:
             self._tasks.append(asyncio.ensure_future(self._repair_monitor()))
 
@@ -235,6 +247,37 @@ class CamService:
         await self._queue.put(_STOP)
         await asyncio.gather(*self._tasks)
         self._tasks = []
+
+    async def drain(self) -> None:
+        """Stop admitting new requests and wait for in-flight ones.
+
+        After this returns every previously admitted request has
+        resolved (ok, timeout, degraded or error) while the pipeline is
+        still running -- the graceful-shutdown hook the network server
+        uses: new work is refused with
+        :class:`~repro.errors.ServiceDrainingError` (mapped onto a
+        ``RETRY_LATER`` error frame by :mod:`repro.net.server`) the
+        moment drain begins, and :meth:`stop` can then tear the
+        pipeline down with nothing left in flight.
+        """
+        if not self._running:
+            return
+        self._draining = True
+        await self._idle.wait()
+
+    @property
+    def draining(self) -> bool:
+        """True between :meth:`drain` and the next :meth:`start`."""
+        return self._draining
+
+    def _track_admit(self) -> None:
+        self._inflight += 1
+        self._idle.clear()
+
+    def _track_done(self) -> None:
+        self._inflight -= 1
+        if self._inflight <= 0:
+            self._idle.set()
 
     async def __aenter__(self) -> "CamService":
         await self.start()
@@ -344,6 +387,10 @@ class CamService:
     async def _admit(self, request: _Request) -> ServiceResponse:
         if not self._running:
             raise ServiceError("service is not running (use 'async with')")
+        if self._draining:
+            raise ServiceDrainingError(
+                "service is draining for shutdown; retry later"
+            )
         loop = asyncio.get_running_loop()
         request.admitted_t = loop.time()
         request.deadline = request.admitted_t + self.request_timeout_s
@@ -359,6 +406,7 @@ class CamService:
                 ) from None
         else:
             await self._queue.put(request)
+        self._track_admit()
         self.stats.admitted += 1
         depth = self._queue.qsize()
         self.stats.max_queue_depth = max(self.stats.max_queue_depth, depth)
@@ -545,7 +593,7 @@ class CamService:
         self._maybe_finish(request)
 
     def _maybe_finish(self, request: _Request) -> None:
-        if request.future.done() or request.pending:
+        if request.finished or request.pending:
             return
         status = "shard_failed" if request.degraded else "ok"
         if request.kind == "insert":
@@ -568,8 +616,9 @@ class CamService:
                 result: Optional[SearchResult] = None,
                 stats: Optional[UpdateStats] = None,
                 error: Optional[str] = None) -> None:
-        if request.future.done():
+        if request.finished:
             return
+        request.finished = True
         loop = asyncio.get_running_loop()
         latency = loop.time() - request.admitted_t
         self.stats.completed += 1
@@ -589,12 +638,14 @@ class CamService:
         if (result is None and request.kind != "insert"
                 and status in ("timeout", "shard_failed")):
             result = _miss(request.key)
-        request.future.set_result(ServiceResponse(
-            kind=request.kind,
-            status=status,
-            result=result,
-            stats=stats,
-            shards=tuple(sorted(request.shards)),
-            latency_s=latency,
-            error=error,
-        ))
+        if not request.future.done():  # caller may have been cancelled
+            request.future.set_result(ServiceResponse(
+                kind=request.kind,
+                status=status,
+                result=result,
+                stats=stats,
+                shards=tuple(sorted(request.shards)),
+                latency_s=latency,
+                error=error,
+            ))
+        self._track_done()

@@ -281,21 +281,37 @@ class CamSnapshot:
             )
         return snapshot
 
+    @staticmethod
+    def _need(blob: bytes, offset: int, count: int, what: str) -> None:
+        """Bounds guard: a hostile or truncated length prefix must fail
+        fast with the typed error, not loop for billions of iterations
+        or surface a bare ``struct.error``."""
+        if count < 0 or len(blob) - offset < count:
+            raise SnapshotError(
+                f"truncated binary snapshot: {what} needs {count} bytes, "
+                f"{len(blob) - offset} remain"
+            )
+
     @classmethod
     def _decode_node(cls, blob: bytes, offset: int, version: int):
+        cls._need(blob, offset, 4, "node header length")
         (header_len,) = struct.unpack_from("<I", blob, offset)
         offset += 4
+        cls._need(blob, offset, header_len, "node header")
         try:
             header = json.loads(blob[offset:offset + header_len])
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise SnapshotError(f"malformed snapshot header: {exc}") from exc
         offset += header_len
+        cls._need(blob, offset, 4, "group count")
         (num_groups,) = struct.unpack_from("<I", blob, offset)
         offset += 4
         groups: List[List[SnapshotEntry]] = []
         for _ in range(num_groups):
+            cls._need(blob, offset, 4, "entry count")
             (count,) = struct.unpack_from("<I", blob, offset)
             offset += 4
+            cls._need(blob, offset, count * _ENTRY.size, "entries")
             group = []
             for _ in range(count):
                 value, care, live = _ENTRY.unpack_from(blob, offset)
@@ -303,6 +319,7 @@ class CamSnapshot:
                 group.append(SnapshotEntry(value=value, care=care,
                                            live=bool(live)))
             groups.append(group)
+        cls._need(blob, offset, 4, "child count")
         (num_children,) = struct.unpack_from("<I", blob, offset)
         offset += 4
         children = []

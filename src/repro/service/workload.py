@@ -208,6 +208,55 @@ class WorkloadReport:
         return "\n".join(lines)
 
 
+def table09_probe_stream(
+    capacity: int,
+    *,
+    seed: int = 3,
+    num_vertices: int = 2000,
+    num_edges: int = 12_000,
+    triangle_fraction: float = 0.4,
+    fill: float = 0.6,
+    max_probes: int = 16_000,
+):
+    """The Table IX adjacency-intersection workload as a CAM stream.
+
+    Hub adjacency sets of a power-law graph are stored in the CAM
+    (up to ``fill`` of ``capacity`` distinct neighbor ids), then the
+    probe sides of sampled edges stream through as membership lookups
+    -- each hit is one intersection contribution, exactly what the
+    triangle-counting pipeline asks the CAM per edge. Shared by the
+    shard-scaling benchmark, the network-throughput benchmark and the
+    ``loadgen`` CLI, so every layer is measured on the same stream.
+
+    Returns ``(stored, probes)`` lists of ints.
+    """
+    from repro.graph import power_law
+
+    graph = power_law(num_vertices, num_edges,
+                      triangle_fraction=triangle_fraction, seed=seed)
+    order = sorted(range(graph.num_vertices), key=graph.degree,
+                   reverse=True)
+    budget = max(1, int(capacity * fill))
+    stored, seen = [], set()
+    for hub in order:
+        for neighbor in graph.neighbors(hub):
+            value = int(neighbor)
+            if value not in seen:
+                seen.add(value)
+                stored.append(value)
+                if len(stored) >= budget:
+                    break
+        if len(stored) >= budget:
+            break
+    probes = []
+    for u, v in graph.edges():
+        side = u if graph.degree(u) <= graph.degree(v) else v
+        probes.extend(int(w) for w in graph.neighbors(side))
+        if len(probes) >= max_probes:
+            break
+    return stored, probes
+
+
 def demo_cam(
     *,
     entries_per_shard: int = 512,

@@ -87,6 +87,20 @@ def test_positional_engine_dispatch_warns_and_still_works(config):
     assert session.name == "legacy"
 
 
+def test_dispatch_warns_exactly_once_per_construction(config):
+    """One construction, one warning -- the shim must not stack
+    warnings through ``__new__``/``__init__`` double dispatch, and
+    every construction must warn anew (no once-per-process
+    suppression baked into the shim itself)."""
+    for _ in range(2):  # repeatable: not warning-once-per-process
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            CamSession(config, engine="batch")
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+
+
 def test_plain_construction_does_not_warn(config):
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)

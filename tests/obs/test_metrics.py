@@ -117,3 +117,40 @@ def test_registry_rejects_histogram_bucket_conflicts():
     registry.histogram("latency")  # None -> keep existing
     with pytest.raises(ObsError):
         registry.histogram("latency", buckets=(1, 2, 3))
+
+
+# ----------------------------------------------------------------------
+# prometheus exposition escaping
+# ----------------------------------------------------------------------
+def test_prometheus_escapes_hostile_label_values():
+    """Backslashes, quotes and newlines in label values must be
+    escaped per the exposition format -- a hostile label (say, a
+    client-supplied path or error string) must not be able to break
+    out of its quoted value or inject lines."""
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", help="by source")
+    hostile = 'C:\\temp\\"evil"\ninjected_metric 1'
+    counter.inc(3, source=hostile)
+    text = registry.to_prometheus()
+    assert ('requests_total{source='
+            '"C:\\\\temp\\\\\\"evil\\"\\ninjected_metric 1"} 3') in text
+    # no raw newline escaped the label: every line is well formed
+    for line in text.splitlines():
+        assert line.startswith(("#", "requests_total")), line
+    assert "\ninjected_metric" not in text
+
+
+def test_prometheus_escapes_help_text():
+    registry = MetricsRegistry()
+    registry.counter("ops_total", help="first\nsecond \\ back")
+    text = registry.to_prometheus()
+    assert "# HELP ops_total first\\nsecond \\\\ back" in text
+
+
+def test_prometheus_histogram_labels_escaped_too():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency_seconds", buckets=(1.0,))
+    histogram.observe(0.5, stage='a"b')
+    text = registry.to_prometheus()
+    assert 'latency_seconds_bucket{stage="a\\"b",le="1"}' in text
+    assert 'latency_seconds_count{stage="a\\"b"} 1' in text

@@ -27,7 +27,7 @@ from repro.core import (
 )
 from repro.errors import SnapshotError
 from repro.service import CamSnapshot, ShardedCam, SnapshotEntry
-from repro.service.snapshot import SNAPSHOT_VERSION
+from repro.service.snapshot import SNAPSHOT_MAGIC, SNAPSHOT_VERSION
 
 WIDTH = 12
 KEYSPACE = 64
@@ -264,6 +264,74 @@ def test_corrupt_binary_is_rejected(tmp_path):
     snap = open_session(small_config(), "batch").snapshot()
     with pytest.raises(SnapshotError):
         CamSnapshot.from_binary(snap.to_binary() + b"junk")
+
+
+def test_truncated_binary_raises_typed_error_at_every_cut():
+    """Any strict prefix of a valid blob must raise SnapshotError --
+    never a bare ``struct.error`` -- no matter where the cut lands
+    (mid-magic, mid-version, mid-header, mid-entry, mid-child)."""
+    session = open_session(small_config(), "batch")
+    session.update([1, 2, 3, 4])
+    session.delete(2)
+    blob = session.snapshot().to_binary()
+    for cut in range(len(blob)):
+        with pytest.raises(SnapshotError):
+            CamSnapshot.from_binary(blob[:cut])
+
+
+def test_future_version_binary_rejected_with_typed_error():
+    blob = open_session(small_config(), "batch").snapshot().to_binary()
+    magic_len = len(SNAPSHOT_MAGIC)
+    future = (blob[:magic_len]
+              + (SNAPSHOT_VERSION + 1).to_bytes(2, "little")
+              + blob[magic_len + 2:])
+    with pytest.raises(SnapshotError, match="version"):
+        CamSnapshot.from_binary(future)
+
+
+def test_hostile_length_prefix_fails_fast():
+    """A forged 4-billion-entry count must raise the typed error
+    immediately (bounds check), not iterate until struct.error."""
+    header = b'{"kind":"unit","meta":{}}'
+    blob = (SNAPSHOT_MAGIC
+            + SNAPSHOT_VERSION.to_bytes(2, "little")
+            + len(header).to_bytes(4, "little") + header
+            + (1).to_bytes(4, "little")            # one group ...
+            + (0xFFFFFFFF).to_bytes(4, "little"))  # ... of 4G entries
+    with pytest.raises(SnapshotError, match="truncated"):
+        CamSnapshot.from_binary(blob)
+
+
+slot_entries = st.one_of(
+    st.just(SnapshotEntry.dead()),
+    st.builds(
+        SnapshotEntry.from_value_care,
+        st.integers(min_value=0, max_value=(1 << 48) - 1),
+        st.integers(min_value=0, max_value=(1 << 48) - 1),
+    ),
+)
+
+
+@given(groups=st.lists(st.lists(slot_entries, max_size=6), max_size=4),
+       shards=st.integers(min_value=0, max_value=3))
+@common_settings
+def test_binary_codec_structural_roundtrip_with_holes(groups, shards):
+    """Both codecs must reproduce the exact node structure -- group
+    shapes, child order, and every slot triple including dead holes --
+    not just the content hash."""
+    child = CamSnapshot(kind="unit", meta={"engine": "batch"},
+                        groups=groups)
+    if shards:
+        snap = CamSnapshot(kind="sharded",
+                           meta={"shards": shards, "policy": "hash"},
+                           children=[child] * shards)
+    else:
+        snap = child
+    for decoded in (CamSnapshot.from_binary(snap.to_binary()),
+                    CamSnapshot.from_json(snap.to_json())):
+        assert decoded == snap
+        assert decoded.live_entries == snap.live_entries
+        assert decoded.total_entries == snap.total_entries
 
 
 def test_incompatible_restore_is_rejected():

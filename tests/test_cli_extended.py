@@ -23,6 +23,60 @@ def test_sweep_unit(capsys):
     assert "4800" in out
 
 
+def test_snapshot_restore_roundtrip(tmp_path, capsys):
+    path = tmp_path / "demo.camsnap"
+    code, out = run(capsys, "snapshot", "--out", str(path),
+                    "--entries", "64", "--seed", "7")
+    assert code == 0
+    assert "content hash:" in out
+    code, out = run(capsys, "restore", str(path), "--verify")
+    assert code == 0
+    assert "verify ok" in out
+
+
+def test_restore_config_mismatch_exits_nonzero(tmp_path, capsys):
+    """Restoring onto a session whose geometry disagrees with the
+    snapshot must exit 1 with a one-line diagnostic naming both
+    configs (the snapshot's and the target's)."""
+    path = tmp_path / "demo.camsnap"
+    assert run(capsys, "snapshot", "--out", str(path),
+               "--entries", "64")[0] == 0
+    code = main(["restore", str(path), "--entries", "32",
+                 "--block-size", "32"])
+    captured = capsys.readouterr()
+    assert code == 1
+    error_lines = [line for line in captured.err.splitlines()
+                   if line.startswith("error:")]
+    assert len(error_lines) == 1
+    line = error_lines[0]
+    assert "snapshot/config mismatch" in line
+    assert "snapshot[kind=unit entries=64" in line
+    assert "target[kind=unit entries=32" in line
+
+
+def test_restore_data_width_mismatch_names_both_widths(tmp_path, capsys):
+    path = tmp_path / "demo.camsnap"
+    assert run(capsys, "snapshot", "--out", str(path),
+               "--entries", "64")[0] == 0
+    code = main(["restore", str(path), "--data-width", "16"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "data_width=48" in captured.err  # the snapshot's
+    assert "data_width=16" in captured.err  # the target's
+
+
+def test_restore_truncated_snapshot_is_a_decode_error(tmp_path, capsys):
+    path = tmp_path / "demo.camsnap"
+    assert run(capsys, "snapshot", "--out", str(path),
+               "--entries", "64")[0] == 0
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    code = main(["restore", str(path)])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "cannot decode" in captured.err
+
+
 def test_vcd_command(tmp_path, capsys):
     out_file = tmp_path / "trace.vcd"
     code, out = run(capsys, "vcd", "--out", str(out_file))
